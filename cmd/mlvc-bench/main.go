@@ -1,0 +1,123 @@
+// Command mlvc-bench regenerates every table and figure of the paper's
+// evaluation section on scaled-down dataset analogs (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	mlvc-bench -size small -exp all
+//	mlvc-bench -size tiny  -exp fig5,fig6
+//	mlvc-bench -exp all -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"multilogvc/internal/harness"
+	"multilogvc/internal/metrics"
+)
+
+func main() {
+	size := flag.String("size", "small", "dataset scale: tiny, small, medium")
+	exps := flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,adapted,ablation,extended,iobreakdown")
+	out := flag.String("out", "", "also write results to this file")
+	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	flag.Parse()
+
+	var sz harness.Size
+	switch *size {
+	case "tiny":
+		sz = harness.Tiny
+	case "small":
+		sz = harness.Small
+	case "medium":
+		sz = harness.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "mlvc-bench: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlvc-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	writeCSV := func(name string, t *metrics.Table) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mlvc-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mlvc-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(name string, fn func() (*metrics.Table, error)) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		t, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlvc-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\n(%s, generated in %.1fs)\n\n", t, *size, time.Since(start).Seconds())
+		writeCSV(name, t)
+	}
+
+	run("table1", func() (*metrics.Table, error) { return harness.Table1(sz) })
+	run("fig2", func() (*metrics.Table, error) { return harness.Fig2(sz) })
+	run("fig3", func() (*metrics.Table, error) { return harness.Fig3(sz) })
+	run("fig5", func() (*metrics.Table, error) { return harness.Fig5(sz) })
+
+	if sel("fig6") || sel("fig7") {
+		start := time.Now()
+		runs, err := harness.Fig6Runs(sz)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlvc-bench: fig6:", err)
+			os.Exit(1)
+		}
+		if sel("fig6") {
+			t := harness.Fig6(runs)
+			fmt.Fprintf(w, "%s\n(%s, generated in %.1fs)\n\n", t, *size, time.Since(start).Seconds())
+			writeCSV("fig6", t)
+		}
+		if sel("fig7") {
+			t := harness.Fig7(runs)
+			fmt.Fprintf(w, "%s\n\n", t)
+			writeCSV("fig7", t)
+		}
+	}
+
+	run("fig8", func() (*metrics.Table, error) { return harness.Fig8(sz) })
+	run("adapted", func() (*metrics.Table, error) { return harness.AdaptedGC(sz) })
+	run("fig9", func() (*metrics.Table, error) { return harness.Fig9(sz) })
+	run("fig10", func() (*metrics.Table, error) { return harness.Fig10(sz) })
+	run("ablation", func() (*metrics.Table, error) { return harness.Ablation(sz) })
+	run("extended", func() (*metrics.Table, error) { return harness.Extended(sz) })
+	run("iobreakdown", func() (*metrics.Table, error) { return harness.IOBreakdown(sz) })
+}

@@ -1,0 +1,262 @@
+// Command mlvc generates graphs and runs vertex-centric applications on
+// the MultiLogVC framework and its baselines.
+//
+// Usage:
+//
+//	mlvc gen   -kind rmat -scale 14 -ef 12 -seed 42 -out graph.bin
+//	mlvc info  -graph graph.bin
+//	mlvc build -graph graph.bin -dir /data/dev
+//	mlvc run   -graph graph.bin -app pagerank -engine multilogvc -steps 15
+//	mlvc run   -dir /data/dev -name g -app sssp -weighted
+//
+// Engines: multilogvc (default), graphchi, grafboost, grafboost-adapted.
+// Apps: bfs, pagerank, cdlp, coloring, mis, randomwalk, sssp, wcc, kcore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	multilogvc "multilogvc"
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mlvc: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlvc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mlvc gen   -kind rmat|uniform|grid -scale N -ef N -seed N -out FILE
+  mlvc info  -graph FILE
+  mlvc build -graph FILE -dir DIR [-name G] [-mem BYTES] [-weighted]
+  mlvc run   -graph FILE -app NAME -engine NAME [-steps N] [-mem BYTES]
+             [-source V] [-weighted] [-async] [-k N]
+             [-no-edgelog] [-no-combiner] [-per-superstep]
+  mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "rmat", "generator: rmat, uniform, grid")
+	scale := fs.Int("scale", 14, "rmat: log2 of vertex count")
+	ef := fs.Int("ef", 12, "rmat: edges per vertex")
+	n := fs.Int("n", 10000, "uniform: vertex count")
+	m := fs.Int("m", 100000, "uniform: edge count")
+	rows := fs.Int("rows", 100, "grid rows")
+	cols := fs.Int("cols", 100, "grid cols")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "graph.bin", "output edge list (.bin = binary)")
+	fs.Parse(args)
+
+	var edges []multilogvc.Edge
+	var err error
+	switch *kind {
+	case "rmat":
+		edges, err = multilogvc.RMAT(*scale, *ef, *seed)
+	case "uniform":
+		edges, err = multilogvc.Uniform(uint32(*n), *m, *seed)
+	case "grid":
+		edges, err = multilogvc.Grid(*rows, *cols)
+	default:
+		return fmt.Errorf("unknown generator %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := multilogvc.WriteEdgeListFile(*out, edges); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d vertices, %d directed edges\n",
+		*out, graphio.NumVertices(edges), len(edges))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("graph", "", "edge list file")
+	fs.Parse(args)
+	edges, err := multilogvc.ReadEdgeListFile(*path)
+	if err != nil {
+		return err
+	}
+	n := graphio.NumVertices(edges)
+	out := graphio.OutDegrees(edges, n)
+	var maxDeg uint32
+	isolated := 0
+	for _, d := range out {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d == 0 {
+			isolated++
+		}
+	}
+	fmt.Printf("vertices:      %d\n", n)
+	fmt.Printf("edges:         %d (directed)\n", len(edges))
+	fmt.Printf("avg degree:    %.2f\n", float64(len(edges))/float64(n))
+	fmt.Printf("max degree:    %d\n", maxDeg)
+	fmt.Printf("zero-out-deg:  %d\n", isolated)
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	path := fs.String("graph", "", "edge list file")
+	dir := fs.String("dir", "", "directory backing the device (required)")
+	name := fs.String("name", "g", "graph name inside the device")
+	mem := fs.Int64("mem", 64<<20, "memory budget (bytes); sizes vertex intervals")
+	pageSize := fs.Int("page", 16384, "SSD page size")
+	channels := fs.Int("channels", 8, "SSD channels")
+	weighted := fs.Bool("weighted", false, "attach deterministic pseudo-random edge weights [1,16]")
+	seed := fs.Uint64("seed", 42, "weight seed")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("build requires -dir")
+	}
+	edges, err := multilogvc.ReadEdgeListFile(*path)
+	if err != nil {
+		return err
+	}
+	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{
+		PageSize: *pageSize, Channels: *channels, Dir: *dir,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var g *multilogvc.Graph
+	if *weighted {
+		g, err = sys.BuildWeightedGraph(*name, multilogvc.RandomWeights(edges, 16, *seed), multilogvc.GraphOptions{MemoryBudget: *mem})
+	} else {
+		g, err = sys.BuildGraph(*name, edges, multilogvc.GraphOptions{MemoryBudget: *mem})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %q in %s: %d vertices, %d edges, %d intervals (%.2fs)\n",
+		*name, *dir, g.NumVertices(), g.NumEdges(), g.Intervals(), time.Since(start).Seconds())
+	fmt.Printf("rerun with: mlvc run -dir %s -name %s -app <app>\n", *dir, *name)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	path := fs.String("graph", "", "edge list file")
+	dir := fs.String("dir", "", "reuse a device directory built with `mlvc build`")
+	name := fs.String("name", "g", "graph name inside the device (with -dir)")
+	appName := fs.String("app", "pagerank", "bfs, pagerank, cdlp, coloring, mis, randomwalk, sssp, wcc, kcore")
+	engName := fs.String("engine", "multilogvc", "multilogvc, graphchi, grafboost, grafboost-adapted")
+	steps := fs.Int("steps", 15, "max supersteps")
+	mem := fs.Int64("mem", 64<<20, "memory budget (bytes)")
+	pageSize := fs.Int("page", 16384, "SSD page size")
+	channels := fs.Int("channels", 8, "SSD channels")
+	source := fs.Uint("source", 0, "bfs source vertex")
+	sample := fs.Uint("sample", 1000, "randomwalk: one walker per k vertices")
+	seed := fs.Uint64("seed", 42, "randomized app seed")
+	noEdgeLog := fs.Bool("no-edgelog", false, "disable the edge-log optimizer")
+	noCombiner := fs.Bool("no-combiner", false, "disable the combiner fast path")
+	async := fs.Bool("async", false, "asynchronous computation model (MultiLogVC only)")
+	weighted := fs.Bool("weighted", false, "attach deterministic pseudo-random edge weights [1,16]")
+	kcoreK := fs.Uint("k", 3, "kcore: minimum degree k")
+	perStep := fs.Bool("per-superstep", false, "print per-superstep stats")
+	fs.Parse(args)
+
+	engine, err := multilogvc.ParseEngine(*engName)
+	if err != nil {
+		return err
+	}
+	prog, err := multilogvc.NewProgramByName(*appName, multilogvc.ProgramOptions{
+		Source:      uint32(*source),
+		Seed:        *seed,
+		SampleEvery: uint32(*sample),
+		K:           uint32(*kcoreK),
+	})
+	if err != nil {
+		return err
+	}
+
+	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{
+		PageSize: *pageSize, Channels: *channels, Dir: *dir,
+	})
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	var g *multilogvc.Graph
+	if *dir != "" {
+		g, err = sys.OpenGraph(*name, *mem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reopened %q: %d vertices, %d edges, %d intervals (%.2fs)\n",
+			*name, g.NumVertices(), g.NumEdges(), g.Intervals(), time.Since(buildStart).Seconds())
+	} else {
+		edges, err2 := multilogvc.ReadEdgeListFile(*path)
+		if err2 != nil {
+			return err2
+		}
+		if *weighted {
+			g, err = sys.BuildWeightedGraph("g", multilogvc.RandomWeights(edges, 16, *seed), multilogvc.GraphOptions{MemoryBudget: *mem})
+		} else {
+			g, err = sys.BuildGraph("g", edges, multilogvc.GraphOptions{MemoryBudget: *mem})
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built CSR graph: %d vertices, %d edges, %d intervals (%.2fs)\n",
+			g.NumVertices(), g.NumEdges(), g.Intervals(), time.Since(buildStart).Seconds())
+	}
+
+	res, err := g.Run(prog, multilogvc.RunOptions{
+		Engine:          engine,
+		MaxSupersteps:   *steps,
+		DisableEdgeLog:  *noEdgeLog,
+		DisableCombiner: *noCombiner,
+		Async:           *async,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Report)
+	if *perStep {
+		t := &metrics.Table{
+			Title:   "per-superstep",
+			Headers: []string{"step", "active", "msgs", "pages r", "pages w", "storage", "compute"},
+		}
+		for _, ss := range res.Report.Supersteps {
+			t.AddRow(fmt.Sprint(ss.Superstep), fmt.Sprint(ss.Active),
+				fmt.Sprint(ss.MsgsSent), fmt.Sprint(ss.PagesRead),
+				fmt.Sprint(ss.PagesWritten), metrics.D(ss.StorageTime), metrics.D(ss.ComputeTime))
+		}
+		fmt.Print(t)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Reachability: the paper's headline experiment (Fig 5) as a demo. BFS
+// traverses a fraction of a large graph; MultiLogVC reads only the pages
+// holding active vertices while the GraphChi baseline reloads whole
+// shards, so the speedup is largest when the traversal is shallow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	multilogvc "multilogvc"
+)
+
+func main() {
+	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{PageSize: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges, err := multilogvc.RMAT(13, 12, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := sys.BuildGraph("web", edges, multilogvc.GraphOptions{
+		MemoryBudget: 1 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := uint64(g.NumVertices())
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("%-10s %-12s %-12s %s\n", "traversal", "mlvc pages", "chi pages", "speedup")
+
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		target := uint64(frac * float64(n))
+		stop := func(step int, cum uint64) bool { return cum >= target }
+
+		ml, err := g.Run(multilogvc.NewBFS(0), multilogvc.RunOptions{
+			MaxSupersteps: 64, StopAfter: stop,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chi, err := g.Run(multilogvc.NewBFS(0), multilogvc.RunOptions{
+			Engine: multilogvc.EngineGraphChi, MaxSupersteps: 64, StopAfter: stop,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(chi.Report.TotalTime()) / float64(ml.Report.TotalTime())
+		fmt.Printf("%-10.1f %-12d %-12d %.2fx\n", frac,
+			ml.Report.PagesRead, chi.Report.PagesRead, speedup)
+	}
+	fmt.Println("\nMultiLogVC's advantage shrinks as the traversal widens — Fig 5a's shape.")
+}

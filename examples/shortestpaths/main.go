@@ -1,0 +1,69 @@
+// Shortestpaths: weighted single-source shortest paths on a road-network-
+// like graph, exercising the CSR val vector (edge weights, Fig 1a of the
+// paper) and the asynchronous computation model (§V-F), which converges in
+// fewer supersteps by delivering forward updates within a superstep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	multilogvc "multilogvc"
+)
+
+func main() {
+	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{PageSize: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A road-network analog: a 96×96 grid with a few long highways, travel
+	// times 1..60 per segment.
+	edges, err := multilogvc.Grid(96, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wedges := multilogvc.RandomWeights(edges, 60, 2026)
+	g, err := sys.BuildWeightedGraph("roads", wedges, multilogvc.GraphOptions{
+		MemoryBudget: 32 << 10, // small budget => many vertex intervals
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Highways: cheap links along the diagonal.
+	n := g.NumVertices()
+	for step := uint32(0); step+97*8 < n; step += 97 * 8 {
+		if err := g.AddWeightedEdge(step, step+97*8, 5); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.AddWeightedEdge(step+97*8, step, 5); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const source = 0
+	sync, err := g.Run(multilogvc.NewSSSP(source), multilogvc.RunOptions{MaxSupersteps: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	async, err := g.Run(multilogvc.NewSSSP(source), multilogvc.RunOptions{
+		MaxSupersteps: 512, Async: true, DisableFusing: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := range sync.Values {
+		if sync.Values[v] != async.Values[v] {
+			log.Fatalf("sync and async disagree at vertex %d", v)
+		}
+	}
+	far := n - 1
+	fmt.Printf("travel time %d -> %d: %d\n", source, far, sync.Values[far])
+	fmt.Printf("synchronous model:  %3d supersteps, %8d pages read\n",
+		len(sync.Report.Supersteps), sync.Report.PagesRead)
+	fmt.Printf("asynchronous model: %3d supersteps, %8d pages read\n",
+		len(async.Report.Supersteps), async.Report.PagesRead)
+	fmt.Println("\nasync delivers forward (ascending-interval) updates within the same")
+	fmt.Println("superstep (§V-F), so the distance wavefront needs fewer supersteps;")
+	fmt.Println("both models converge to identical distances.")
+}

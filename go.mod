@@ -1,0 +1,3 @@
+module multilogvc
+
+go 1.23

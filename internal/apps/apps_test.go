@@ -1,0 +1,419 @@
+package apps
+
+import (
+	"sort"
+	"testing"
+
+	"multilogvc/internal/gen"
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/vc"
+)
+
+// refRun runs prog on edges with the reference engine.
+func refRun(t *testing.T, edges []graphio.Edge, n uint32, prog vc.Program, maxSteps int) *vc.RefResult {
+	t.Helper()
+	return vc.NewRef(edges, n).Run(prog, maxSteps)
+}
+
+// bruteBFS computes hop distances with a queue.
+func bruteBFS(edges []graphio.Edge, n, source uint32) []uint32 {
+	adj := make([][]uint32, n)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[v] {
+			if dist[nb] == Inf {
+				dist[nb] = dist[v] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFSOnGrid(t *testing.T) {
+	edges, _ := gen.Grid(8, 8)
+	res := refRun(t, edges, 64, &BFS{Source: 0}, 100)
+	want := bruteBFS(edges, 64, 0)
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("BFS dist[%d] = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+	if !res.Converged {
+		t.Fatal("BFS should converge")
+	}
+}
+
+func TestBFSOnRMAT(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(9, 8, 3))
+	n := graphio.NumVertices(edges)
+	res := refRun(t, edges, n, &BFS{Source: 1}, 200)
+	want := bruteBFS(edges, n, 1)
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("BFS dist[%d] = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	edges := []graphio.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 2, Dst: 3}, {Src: 3, Dst: 2}}
+	res := refRun(t, edges, 4, &BFS{Source: 0}, 50)
+	if res.Values[2] != Inf || res.Values[3] != Inf {
+		t.Fatalf("unreachable vertices should stay Inf: %v", res.Values)
+	}
+	if res.Values[1] != 1 {
+		t.Fatalf("dist[1] = %d", res.Values[1])
+	}
+}
+
+func TestBFSCombinerIsMin(t *testing.T) {
+	b := &BFS{}
+	if b.Combine(3, 5) != 3 || b.Combine(5, 3) != 3 {
+		t.Fatal("BFS combiner should be min")
+	}
+}
+
+func TestBFSActiveFrontierExpands(t *testing.T) {
+	edges, _ := gen.Grid(16, 16)
+	res := refRun(t, edges, 256, &BFS{Source: 0}, 100)
+	// Frontier grows then shrinks — the BFS pattern the paper describes.
+	peak := 0
+	for i, a := range res.ActivePerStep {
+		if a > res.ActivePerStep[peak] {
+			peak = i
+		}
+		_ = a
+	}
+	if peak == 0 || peak == len(res.ActivePerStep)-1 {
+		t.Fatalf("frontier pattern unexpected: %v", res.ActivePerStep)
+	}
+}
+
+func TestPageRankConservesMass(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(8, 8, 4))
+	n := graphio.NumVertices(edges)
+	res := refRun(t, edges, n, &PageRank{Threshold: 1}, 30)
+	var total float64
+	for _, v := range res.Values {
+		total += Rank(v)
+	}
+	// With threshold ~0 and damping 0.85 the total mass approaches n
+	// (residual formulation); sinks and truncation lose a little.
+	if total < 0.5*float64(n) || total > 1.2*float64(n) {
+		t.Fatalf("total rank %f for n=%d out of range", total, n)
+	}
+}
+
+func TestPageRankActiveShrinks(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(10, 8, 9))
+	n := graphio.NumVertices(edges)
+	res := refRun(t, edges, n, &PageRank{}, 15)
+	first := res.ActivePerStep[0]
+	last := res.ActivePerStep[len(res.ActivePerStep)-1]
+	if last >= first {
+		t.Fatalf("active set should shrink: %v", res.ActivePerStep)
+	}
+}
+
+func TestPageRankHubsRankHigher(t *testing.T) {
+	// Star graph: center receives from all leaves.
+	var edges []graphio.Edge
+	const n = 50
+	for i := uint32(1); i < n; i++ {
+		edges = append(edges, graphio.Edge{Src: i, Dst: 0}, graphio.Edge{Src: 0, Dst: i})
+	}
+	res := refRun(t, edges, n, &PageRank{Threshold: 1}, 30)
+	if Rank(res.Values[0]) <= Rank(res.Values[1])*5 {
+		t.Fatalf("hub rank %f not dominant over leaf %f", Rank(res.Values[0]), Rank(res.Values[1]))
+	}
+}
+
+func TestCDLPPlantedPartition(t *testing.T) {
+	edges, _ := gen.PlantedPartition(4, 30, 10, 0.2, 6)
+	n := graphio.NumVertices(edges)
+	res := refRun(t, edges, n, &CDLP{}, 20)
+	// Most vertices in a community should share their community's label.
+	agree := 0
+	for g := 0; g < 4; g++ {
+		counts := map[uint32]int{}
+		for v := g * 30; v < (g+1)*30 && v < int(n); v++ {
+			counts[res.Values[v]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+	}
+	if agree < int(n)*7/10 {
+		t.Fatalf("CDLP found weak communities: %d/%d vertices agree", agree, n)
+	}
+}
+
+func TestCDLPConvergesOnClique(t *testing.T) {
+	// A clique converges to the smallest id's label.
+	var edges []graphio.Edge
+	const k = 6
+	for i := uint32(0); i < k; i++ {
+		for j := uint32(0); j < k; j++ {
+			if i != j {
+				edges = append(edges, graphio.Edge{Src: i, Dst: j})
+			}
+		}
+	}
+	res := refRun(t, edges, k, &CDLP{}, 30)
+	for v, l := range res.Values {
+		if l != 0 {
+			t.Fatalf("clique label[%d] = %d, want 0 (values %v)", v, l, res.Values)
+		}
+	}
+}
+
+func TestFrequentLabel(t *testing.T) {
+	if got := frequentLabel([]uint32{1, 2, 2, 3}); got != 2 {
+		t.Fatalf("frequentLabel = %d, want 2", got)
+	}
+	// Tie: smaller label wins.
+	if got := frequentLabel([]uint32{3, 3, 1, 1}); got != 1 {
+		t.Fatalf("tie frequentLabel = %d, want 1", got)
+	}
+	if got := frequentLabel([]uint32{UnknownLabel}); got != UnknownLabel {
+		t.Fatalf("all-unknown frequentLabel = %d", got)
+	}
+	if got := frequentLabel(nil); got != UnknownLabel {
+		t.Fatalf("empty frequentLabel = %d", got)
+	}
+}
+
+func checkProperColoring(t *testing.T, edges []graphio.Edge, values []uint32) {
+	t.Helper()
+	for _, e := range edges {
+		if e.Src != e.Dst && values[e.Src] == values[e.Dst] {
+			t.Fatalf("edge (%d,%d) endpoints share color %d", e.Src, e.Dst, values[e.Src])
+		}
+	}
+}
+
+func TestColoringGrid(t *testing.T) {
+	edges, _ := gen.Grid(10, 10)
+	res := refRun(t, edges, 100, &Coloring{}, 100)
+	if !res.Converged {
+		t.Fatal("coloring should converge on a grid")
+	}
+	checkProperColoring(t, edges, res.Values)
+	// Grids are 2-colorable but greedy may use a few more; bound loosely.
+	maxColor := uint32(0)
+	for _, c := range res.Values {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	if maxColor > 4 {
+		t.Fatalf("grid used %d colors", maxColor+1)
+	}
+}
+
+func TestColoringRMAT(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(9, 6, 8))
+	n := graphio.NumVertices(edges)
+	res := refRun(t, edges, n, &Coloring{}, 200)
+	if !res.Converged {
+		t.Fatal("coloring did not converge")
+	}
+	checkProperColoring(t, edges, res.Values)
+}
+
+func TestColoringActivityShrinks(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(10, 8, 2))
+	n := graphio.NumVertices(edges)
+	res := refRun(t, edges, n, &Coloring{}, 15)
+	if len(res.ActivePerStep) < 3 {
+		t.Skip("converged too fast")
+	}
+	first := res.ActivePerStep[1]
+	last := res.ActivePerStep[len(res.ActivePerStep)-1]
+	if last >= first {
+		t.Fatalf("active set should shrink: %v", res.ActivePerStep)
+	}
+}
+
+func TestMISGrid(t *testing.T) {
+	edges, _ := gen.Grid(10, 10)
+	eng := vc.NewRef(edges, 100)
+	res := eng.Run(&MIS{Seed: 1}, 200)
+	if !res.Converged {
+		t.Fatal("MIS should converge")
+	}
+	adj := adjacency(edges, 100)
+	if msg := IsIndependentSet(res.Values, func(v uint32) []uint32 { return adj[v] }); msg != "" {
+		t.Fatal(msg)
+	}
+	// Everyone decided.
+	for v, s := range res.Values {
+		if s == MISUnknown {
+			t.Fatalf("vertex %d undecided", v)
+		}
+	}
+}
+
+func TestMISRMAT(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(9, 6, 12))
+	n := graphio.NumVertices(edges)
+	res := vc.NewRef(edges, n).Run(&MIS{Seed: 7}, 400)
+	if !res.Converged {
+		t.Fatal("MIS did not converge")
+	}
+	adj := adjacency(edges, n)
+	if msg := IsIndependentSet(res.Values, func(v uint32) []uint32 { return adj[v] }); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestMISIsolatedVerticesJoin(t *testing.T) {
+	// Isolated vertices must all end up in the set.
+	edges := []graphio.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}
+	res := vc.NewRef(edges, 5).Run(&MIS{Seed: 3}, 50)
+	for v := uint32(2); v < 5; v++ {
+		if res.Values[v] != MISIn {
+			t.Fatalf("isolated vertex %d state = %d", v, res.Values[v])
+		}
+	}
+}
+
+func TestIsIndependentSetDetectsViolations(t *testing.T) {
+	adj := [][]uint32{{1}, {0}}
+	both := []uint32{MISIn, MISIn}
+	if IsIndependentSet(both, func(v uint32) []uint32 { return adj[v] }) == "" {
+		t.Fatal("adjacent MISIn pair not detected")
+	}
+	orphan := []uint32{MISOut, MISOut}
+	if IsIndependentSet(orphan, func(v uint32) []uint32 { return adj[v] }) == "" {
+		t.Fatal("non-maximal exclusion not detected")
+	}
+}
+
+func TestRandomWalkVisitConservation(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(8, 8, 21))
+	n := graphio.NumVertices(edges)
+	rw := &RandomWalk{SampleEvery: 16, WalkLength: 10, Seed: 5}
+	res := vc.NewRef(edges, n).Run(rw, 50)
+	var total uint64
+	for _, v := range res.Values {
+		total += uint64(v)
+	}
+	sources := (n + 15) / 16
+	// Each walker makes at most WalkLength+1 visits (start + steps); dead
+	// ends may cut walks short but RMAT analogs rarely have them, and at
+	// least the starting visits must be there.
+	if total < uint64(sources) {
+		t.Fatalf("total visits %d < sources %d", total, sources)
+	}
+	if total > uint64(sources)*11 {
+		t.Fatalf("total visits %d exceed max %d", total, uint64(sources)*11)
+	}
+	if !res.Converged {
+		t.Fatal("random walk should converge (walks expire)")
+	}
+	if res.Supersteps > 12 {
+		t.Fatalf("walks of length 10 ran %d supersteps", res.Supersteps)
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(7, 8, 9))
+	n := graphio.NumVertices(edges)
+	rw := &RandomWalk{SampleEvery: 8, WalkLength: 6, Seed: 1}
+	a := vc.NewRef(edges, n).Run(rw, 50)
+	b := vc.NewRef(edges, n).Run(rw, 50)
+	for v := range a.Values {
+		if a.Values[v] != b.Values[v] {
+			t.Fatal("random walk not deterministic")
+		}
+	}
+}
+
+func TestRandomWalkDeadEnd(t *testing.T) {
+	// 0 -> 1, 1 has no out-edges: walker stops there.
+	edges := []graphio.Edge{{Src: 0, Dst: 1}}
+	rw := &RandomWalk{SampleEvery: 100, WalkLength: 10, Seed: 2}
+	res := vc.NewRef(edges, 2).Run(rw, 50)
+	if res.Values[0] != 1 || res.Values[1] != 1 {
+		t.Fatalf("visits = %v, want [1 1]", res.Values)
+	}
+}
+
+func adjacency(edges []graphio.Edge, n uint32) [][]uint32 {
+	adj := make([][]uint32, n)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	for _, a := range adj {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return adj
+}
+
+func TestPageRankOptions(t *testing.T) {
+	edges, _ := gen.Grid(6, 6)
+	// A higher threshold converges in fewer supersteps.
+	loose := refRun(t, edges, 36, &PageRank{Threshold: PRScale / 2}, 30)
+	tight := refRun(t, edges, 36, &PageRank{Threshold: 1}, 30)
+	if loose.Supersteps > tight.Supersteps {
+		t.Fatalf("loose threshold ran %d supersteps, tight %d", loose.Supersteps, tight.Supersteps)
+	}
+	// Custom damping shifts mass: with damping ~0 the rank stays at the
+	// base value everywhere.
+	flat := refRun(t, edges, 36, &PageRank{DampingNum: 1, Threshold: 1}, 30)
+	for v, val := range flat.Values {
+		if Rank(val) > 1.01 {
+			t.Fatalf("near-zero damping rank[%d] = %f", v, Rank(val))
+		}
+	}
+}
+
+func TestRankDecoding(t *testing.T) {
+	if Rank(PRScale) != 1.0 {
+		t.Fatalf("Rank(PRScale) = %f", Rank(PRScale))
+	}
+	if Rank(PRScale/2) != 0.5 {
+		t.Fatalf("Rank(PRScale/2) = %f", Rank(PRScale/2))
+	}
+}
+
+func TestBFSSelfLoopIgnored(t *testing.T) {
+	edges := []graphio.Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}}
+	res := refRun(t, edges, 2, &BFS{Source: 0}, 10)
+	if res.Values[0] != 0 || res.Values[1] != 1 {
+		t.Fatalf("distances = %v", res.Values)
+	}
+}
+
+func TestMISDifferentSeedsDifferentSets(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(8, 6, 3))
+	n := graphio.NumVertices(edges)
+	a := vc.NewRef(edges, n).Run(&MIS{Seed: 1}, 200)
+	b := vc.NewRef(edges, n).Run(&MIS{Seed: 2}, 200)
+	same := true
+	for v := range a.Values {
+		if a.Values[v] != b.Values[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical independent sets")
+	}
+}

@@ -1,0 +1,72 @@
+// Package apps implements the six vertex-centric graph algorithms the
+// paper evaluates (§VII): BFS, PageRank, community detection by label
+// propagation (CDLP), speculative graph coloring (GC), Luby-style maximal
+// independent set (MIS), and DrunkardMob-style random walk (RW).
+//
+// Each program is written once against the vc contract and runs unchanged
+// on every engine. BFS and PageRank implement vc.Combiner (their updates
+// merge); the other four require individual message delivery, which is
+// the class of algorithms MultiLogVC supports but GraFBoost does not.
+package apps
+
+import "multilogvc/internal/vc"
+
+// Inf is the "unvisited" BFS depth.
+const Inf = ^uint32(0)
+
+// BFS computes single-source shortest hop counts. Vertex values are
+// depths; unvisited vertices hold Inf.
+type BFS struct {
+	Source uint32
+}
+
+// Name implements vc.Program.
+func (b *BFS) Name() string { return "bfs" }
+
+// InitValue implements vc.Program.
+func (b *BFS) InitValue(v, n uint32) uint32 {
+	if v == b.Source {
+		return 0
+	}
+	return Inf
+}
+
+// InitActive implements vc.Program.
+func (b *BFS) InitActive(n uint32) vc.InitSet {
+	return vc.InitSet{Verts: []uint32{b.Source}}
+}
+
+// Process implements vc.Program.
+func (b *BFS) Process(ctx vc.Context, msgs []vc.Msg) {
+	depth := ctx.Value()
+	if ctx.Superstep() == 0 {
+		// Source announces depth 1 to its neighbors.
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, 1)
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	best := depth
+	for _, m := range msgs {
+		if m.Data < best {
+			best = m.Data
+		}
+	}
+	if best < depth {
+		ctx.SetValue(best)
+		next := best + 1
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, next)
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements vc.Combiner: depth updates merge by minimum.
+func (b *BFS) Combine(a, c uint32) uint32 {
+	if a < c {
+		return a
+	}
+	return c
+}

@@ -1,0 +1,80 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// UnknownLabel marks an aux entry whose neighbor label has not been heard
+// yet.
+const UnknownLabel = ^uint32(0)
+
+// CDLP is community detection by label propagation (Raghavan et al.),
+// following the paper's Algorithm 2: each vertex remembers the last label
+// announced by every in-neighbor (per-in-edge aux state), adopts the most
+// frequent known label, and re-announces its own label only when it
+// changed. Updates cannot be merged — every neighbor's label must be
+// recorded individually — so CDLP is in the class of programs GraFBoost's
+// combine-based log cannot run.
+//
+// Vertex values are labels; initial label = vertex id. Ties in the
+// frequency count break toward the smaller label, which makes the
+// algorithm deterministic.
+type CDLP struct{}
+
+// Name implements vc.Program.
+func (c *CDLP) Name() string { return "cdlp" }
+
+// InitValue implements vc.Program.
+func (c *CDLP) InitValue(v, n uint32) uint32 { return v }
+
+// InitActive implements vc.Program.
+func (c *CDLP) InitActive(n uint32) vc.InitSet { return vc.InitSet{All: true} }
+
+// AuxInit implements vc.AuxUser.
+func (c *CDLP) AuxInit(n uint32) uint32 { return UnknownLabel }
+
+// Process implements vc.Program.
+func (c *CDLP) Process(ctx vc.Context, msgs []vc.Msg) {
+	if ctx.Superstep() == 0 {
+		// Announce the initial label.
+		label := ctx.Value()
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, label)
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	sources := ctx.InEdgeSources()
+	aux := ctx.Aux()
+	for _, m := range msgs {
+		if i := vc.FindSource(sources, m.Src); i >= 0 {
+			aux[i] = m.Data
+		}
+	}
+	newLabel := frequentLabel(aux)
+	if newLabel != UnknownLabel && newLabel != ctx.Value() {
+		ctx.SetValue(newLabel)
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, newLabel)
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// frequentLabel returns the most frequent non-unknown label, breaking ties
+// toward the smaller label; UnknownLabel if none known.
+func frequentLabel(labels []uint32) uint32 {
+	counts := make(map[uint32]int, len(labels))
+	best := UnknownLabel
+	bestCount := 0
+	for _, l := range labels {
+		if l == UnknownLabel {
+			continue
+		}
+		counts[l]++
+		c := counts[l]
+		if c > bestCount || (c == bestCount && l < best) {
+			best = l
+			bestCount = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,84 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// Coloring is speculative greedy graph coloring in the PowerGraph style
+// (Gonzalez et al., the paper's [9]): every vertex starts with color 0,
+// remembers each neighbor's last announced color (per-in-edge aux state),
+// and when it conflicts with a higher-priority neighbor — smaller vertex
+// id wins — re-colors itself with the smallest color unused among its
+// neighbors and announces the change. The algorithm converges to a proper
+// coloring; like CDLP it needs every neighbor's color individually, so
+// updates cannot be merged.
+//
+// Vertex values are colors.
+type Coloring struct{}
+
+// Name implements vc.Program.
+func (c *Coloring) Name() string { return "coloring" }
+
+// InitValue implements vc.Program.
+func (c *Coloring) InitValue(v, n uint32) uint32 { return 0 }
+
+// InitActive implements vc.Program.
+func (c *Coloring) InitActive(n uint32) vc.InitSet { return vc.InitSet{All: true} }
+
+// AuxInit implements vc.AuxUser: every neighbor starts at color 0, which
+// is consistent with InitValue.
+func (c *Coloring) AuxInit(n uint32) uint32 { return 0 }
+
+// Process implements vc.Program.
+func (c *Coloring) Process(ctx vc.Context, msgs []vc.Msg) {
+	v := ctx.Vertex()
+	if ctx.Superstep() == 0 {
+		// Everyone holds color 0; only vertices that must yield to a
+		// higher-priority neighbor re-color. A vertex yields if any
+		// neighbor with a smaller id exists (all colors are 0 now).
+		sources := ctx.InEdgeSources()
+		if len(sources) > 0 && sources[0] < v {
+			c.recolor(ctx)
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	sources := ctx.InEdgeSources()
+	aux := ctx.Aux()
+	for _, m := range msgs {
+		if i := vc.FindSource(sources, m.Src); i >= 0 {
+			aux[i] = m.Data
+		}
+	}
+	mine := ctx.Value()
+	conflict := false
+	for i, src := range sources {
+		if src < v && aux[i] == mine {
+			conflict = true
+			break
+		}
+	}
+	if conflict {
+		c.recolor(ctx)
+	}
+	ctx.VoteToHalt()
+}
+
+// recolor picks the smallest color not present among known neighbor
+// colors, stores it, and announces it.
+func (c *Coloring) recolor(ctx vc.Context) {
+	aux := ctx.Aux()
+	used := make(map[uint32]bool, len(aux))
+	for _, col := range aux {
+		used[col] = true
+	}
+	var color uint32
+	for used[color] {
+		color++
+	}
+	if color == ctx.Value() {
+		return
+	}
+	ctx.SetValue(color)
+	for _, dst := range ctx.OutEdges() {
+		ctx.Send(dst, color)
+	}
+}

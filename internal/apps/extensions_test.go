@@ -1,0 +1,195 @@
+package apps
+
+import (
+	"testing"
+
+	"multilogvc/internal/gen"
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/vc"
+)
+
+// weightFor derives a deterministic pseudo-random weight in [1, 16].
+func weightFor(src, dst uint32) uint32 {
+	return uint32(vc.Hash64(uint64(src), uint64(dst))%16) + 1
+}
+
+// symWeights attaches symmetric weights (w(u,v) == w(v,u)) so undirected
+// SSSP distances are well-defined.
+func symWeights(edges []graphio.Edge) []graphio.WeightedEdge {
+	return graphio.AttachWeights(edges, func(s, d uint32) uint32 {
+		if s > d {
+			s, d = d, s
+		}
+		return weightFor(s, d)
+	})
+}
+
+// bruteDijkstra computes shortest path distances for the weighted edges.
+func bruteDijkstra(wedges []graphio.WeightedEdge, n, source uint32) []uint32 {
+	type arc struct{ to, w uint32 }
+	adj := make([][]arc, n)
+	for _, e := range wedges {
+		adj[e.Src] = append(adj[e.Src], arc{e.Dst, e.Weight})
+	}
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	visited := make([]bool, n)
+	for {
+		// O(n^2) extract-min; fine at test scale.
+		u := uint32(Inf)
+		best := uint32(Inf)
+		for v := uint32(0); v < n; v++ {
+			if !visited[v] && dist[v] < best {
+				best = dist[v]
+				u = v
+			}
+		}
+		if u == uint32(Inf) {
+			break
+		}
+		visited[u] = true
+		for _, a := range adj[u] {
+			if nd := dist[u] + a.w; nd < dist[a.to] {
+				dist[a.to] = nd
+			}
+		}
+	}
+	return dist
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(8, 6, 77))
+	n := graphio.NumVertices(edges)
+	wedges := symWeights(edges)
+	res := vc.NewRefWeighted(wedges, n).Run(&SSSP{Source: 2}, 300)
+	want := bruteDijkstra(wedges, n, 2)
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+	if !res.Converged {
+		t.Fatal("SSSP should converge")
+	}
+}
+
+func TestSSSPUnweightedEqualsBFS(t *testing.T) {
+	edges, _ := gen.Grid(10, 10)
+	sssp := vc.NewRef(edges, 100).Run(&SSSP{Source: 0}, 200)
+	bfs := vc.NewRef(edges, 100).Run(&BFS{Source: 0}, 200)
+	for v := range bfs.Values {
+		if sssp.Values[v] != bfs.Values[v] {
+			t.Fatalf("unweighted SSSP dist[%d] = %d, BFS %d", v, sssp.Values[v], bfs.Values[v])
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	edges := []graphio.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}
+	res := vc.NewRef(edges, 3).Run(&SSSP{Source: 0}, 20)
+	if res.Values[2] != Inf {
+		t.Fatalf("unreachable dist = %d", res.Values[2])
+	}
+}
+
+func TestWCCTwoComponents(t *testing.T) {
+	var edges []graphio.Edge
+	// Component A: 0-1-2, component B: 3-4.
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {3, 4}} {
+		edges = append(edges, graphio.Edge{Src: e[0], Dst: e[1]}, graphio.Edge{Src: e[1], Dst: e[0]})
+	}
+	res := vc.NewRef(edges, 5).Run(&WCC{}, 50)
+	want := []uint32{0, 0, 0, 3, 3}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("wcc = %v, want %v", res.Values, want)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("WCC should converge")
+	}
+}
+
+func TestWCCRMAT(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(9, 4, 15))
+	n := graphio.NumVertices(edges)
+	res := vc.NewRef(edges, n).Run(&WCC{}, 200)
+	// Verify: endpoints of every edge share a label, and each label is
+	// the smallest vertex id carrying it.
+	for _, e := range edges {
+		if res.Values[e.Src] != res.Values[e.Dst] {
+			t.Fatalf("edge %v spans labels %d/%d", e, res.Values[e.Src], res.Values[e.Dst])
+		}
+	}
+	for v, l := range res.Values {
+		if l > uint32(v) {
+			t.Fatalf("label[%d] = %d exceeds own id", v, l)
+		}
+	}
+	for v, l := range res.Values {
+		if res.Values[l] != l {
+			t.Fatalf("label %d (of %d) is not a fixed point", l, v)
+		}
+	}
+}
+
+func TestKCorePeelsCorrectly(t *testing.T) {
+	// A triangle (0,1,2) plus a pendant chain 2-3-4: the 2-core is the
+	// triangle.
+	var edges []graphio.Edge
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}} {
+		edges = append(edges, graphio.Edge{Src: e[0], Dst: e[1]}, graphio.Edge{Src: e[1], Dst: e[0]})
+	}
+	res := vc.NewRef(edges, 5).Run(&KCore{K: 2}, 50)
+	wantIn := []bool{true, true, true, false, false}
+	for v, want := range wantIn {
+		if got := InCore(res.Values[v]); got != want {
+			t.Fatalf("InCore(%d) = %v, want %v (values %v)", v, got, want, res.Values)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("k-core should converge")
+	}
+}
+
+func TestKCoreInvariant(t *testing.T) {
+	edges, _ := gen.RMAT(gen.DefaultRMAT(9, 6, 33))
+	n := graphio.NumVertices(edges)
+	const k = 4
+	res := vc.NewRef(edges, n).Run(&KCore{K: k}, 300)
+	if !res.Converged {
+		t.Fatal("k-core did not converge")
+	}
+	adj := adjacency(edges, n)
+	// Every core member has >= k core neighbors.
+	for v := uint32(0); v < n; v++ {
+		if !InCore(res.Values[v]) {
+			continue
+		}
+		coreDeg := uint32(0)
+		for _, nb := range adj[v] {
+			if InCore(res.Values[nb]) {
+				coreDeg++
+			}
+		}
+		if coreDeg < k {
+			t.Fatalf("core vertex %d has only %d core neighbors", v, coreDeg)
+		}
+		if res.Values[v] != coreDeg {
+			t.Fatalf("core vertex %d remaining degree %d != %d", v, res.Values[v], coreDeg)
+		}
+	}
+}
+
+func TestKCoreZeroKKeepsAll(t *testing.T) {
+	edges := []graphio.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}
+	res := vc.NewRef(edges, 3).Run(&KCore{K: 0}, 20)
+	for v, val := range res.Values {
+		if !InCore(val) {
+			t.Fatalf("K=0 removed vertex %d", v)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// KCoreRemoved marks a vertex that peeled out of the k-core.
+const KCoreRemoved = ^uint32(0)
+
+// KCore computes the k-core of an undirected graph: the maximal subgraph
+// in which every vertex has degree ≥ K. Vertices iteratively remove
+// themselves when their remaining degree drops below K and notify their
+// neighbors, whose remaining degrees shrink in turn. Removal counts merge
+// by addition (combinable).
+//
+// Final vertex values: the remaining degree (≥ K) for core members, or
+// KCoreRemoved for peeled vertices. InCore decodes them.
+type KCore struct {
+	K uint32
+}
+
+// Name implements vc.Program.
+func (k *KCore) Name() string { return "kcore" }
+
+// InitValue implements vc.Program: remaining degree starts unknown (0);
+// superstep 0 initializes it from the out-edge list.
+func (k *KCore) InitValue(v, n uint32) uint32 { return 0 }
+
+// InitActive implements vc.Program.
+func (k *KCore) InitActive(n uint32) vc.InitSet { return vc.InitSet{All: true} }
+
+// InCore reports whether a final vertex value denotes core membership.
+func InCore(value uint32) bool { return value != KCoreRemoved }
+
+// Process implements vc.Program.
+func (k *KCore) Process(ctx vc.Context, msgs []vc.Msg) {
+	val := ctx.Value()
+	if val == KCoreRemoved {
+		ctx.VoteToHalt()
+		return
+	}
+	var deg uint32
+	if ctx.Superstep() == 0 {
+		deg = uint32(len(ctx.OutEdges()))
+	} else {
+		deg = val
+		for _, m := range msgs {
+			removed := m.Data
+			if removed >= deg {
+				deg = 0
+			} else {
+				deg -= removed
+			}
+		}
+	}
+	if deg < k.K {
+		ctx.SetValue(KCoreRemoved)
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, 1)
+		}
+	} else {
+		ctx.SetValue(deg)
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements vc.Combiner: removal notifications merge by sum.
+func (k *KCore) Combine(a, b uint32) uint32 { return a + b }

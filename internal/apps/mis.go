@@ -1,0 +1,131 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// MIS vertex states.
+const (
+	MISUnknown = uint32(0)
+	MISIn      = uint32(1)
+	MISOut     = uint32(2)
+)
+
+// misMarker is the "I joined the MIS" announcement; random priorities are
+// masked below it so the two message kinds cannot collide.
+const misMarker = ^uint32(0)
+
+// MIS computes a maximal independent set with Luby's algorithm in the
+// Pregel formulation (Salihoglu & Widom, the paper's [26]). Rounds take
+// two supersteps:
+//
+//   - select (even): every undecided vertex that heard a neighbor joined
+//     the set drops out; the rest draw a deterministic random priority for
+//     the round and announce it to their neighbors.
+//   - decide (odd): an undecided vertex whose own (priority, id) is
+//     strictly smallest among its undecided neighborhood joins the set and
+//     announces misMarker.
+//
+// Priorities come from vc.Hash64(Seed, vertex, round), so runs are
+// reproducible and identical across engines. Because the decide step must
+// see each neighbor's priority and the select step distinct markers,
+// updates cannot be merged into one value.
+type MIS struct {
+	Seed uint64
+}
+
+// Name implements vc.Program.
+func (m *MIS) Name() string { return "mis" }
+
+// InitValue implements vc.Program.
+func (m *MIS) InitValue(v, n uint32) uint32 { return MISUnknown }
+
+// InitActive implements vc.Program.
+func (m *MIS) InitActive(n uint32) vc.InitSet { return vc.InitSet{All: true} }
+
+// priority returns the masked 32-bit round priority of v.
+func (m *MIS) priority(v uint32, round int) uint32 {
+	return uint32(vc.Hash64(m.Seed, uint64(v), uint64(round))) & 0x7fffffff
+}
+
+// Process implements vc.Program.
+func (m *MIS) Process(ctx vc.Context, msgs []vc.Msg) {
+	state := ctx.Value()
+	if state != MISUnknown {
+		// Decided vertices ignore stray messages and stay halted.
+		ctx.VoteToHalt()
+		return
+	}
+	v := ctx.Vertex()
+	step := ctx.Superstep()
+	round := step / 2
+	if step%2 == 0 { // select
+		for _, msg := range msgs {
+			if msg.Data == misMarker {
+				ctx.SetValue(MISOut)
+				ctx.VoteToHalt()
+				return
+			}
+		}
+		p := m.priority(v, round)
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, p)
+		}
+		// Stay active: the decide step must run even if no undecided
+		// neighbor sends a priority.
+		return
+	}
+	// decide
+	myP := m.priority(v, round)
+	win := true
+	for _, msg := range msgs {
+		if msg.Data == misMarker {
+			// Neighbor joined in an earlier interleaving; defer to the
+			// next select step (keep the message effect by dropping out
+			// now — identical outcome, fewer supersteps).
+			ctx.SetValue(MISOut)
+			ctx.VoteToHalt()
+			return
+		}
+		if msg.Data < myP || (msg.Data == myP && msg.Src < v) {
+			win = false
+		}
+	}
+	if win {
+		ctx.SetValue(MISIn)
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, misMarker)
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	// Lost the round; stay active for the next select step.
+}
+
+// IsIndependentSet verifies the MIS invariants over final values given the
+// adjacency: no two MISIn vertices are adjacent, and (if decided
+// everywhere) every MISOut vertex has a MISIn neighbor. Returns an empty
+// string when valid, else a description of the violation. Intended for
+// tests.
+func IsIndependentSet(values []uint32, out func(v uint32) []uint32) string {
+	for v := range values {
+		switch values[v] {
+		case MISIn:
+			for _, nb := range out(uint32(v)) {
+				if values[nb] == MISIn {
+					return "adjacent vertices both in set"
+				}
+			}
+		case MISOut:
+			hasIn := false
+			for _, nb := range out(uint32(v)) {
+				if values[nb] == MISIn {
+					hasIn = true
+					break
+				}
+			}
+			if !hasIn {
+				return "excluded vertex has no neighbor in set"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,83 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// PRScale is the fixed-point scale for PageRank values: a vertex value of
+// PRScale represents rank 1.0. Fixed-point integer arithmetic keeps rank
+// updates associative and commutative, so every engine — whatever order it
+// combines messages in — produces bit-identical results.
+const PRScale = 4096
+
+// PageRank is the delta-based (residual) formulation used by out-of-core
+// engines: each vertex accumulates incoming rank deltas and only
+// propagates when the accumulated delta exceeds Threshold, so the active
+// set shrinks as ranks converge (§VII: "a vertex in pagerank gets
+// activated if it receives a delta update greater than a certain threshold
+// value").
+//
+// Vertex values are fixed-point ranks (see PRScale and Rank).
+type PageRank struct {
+	// DampingNum/PRScale is the damping factor; defaults to 0.85.
+	DampingNum uint32
+	// Threshold is the minimum accumulated fixed-point delta that keeps a
+	// vertex propagating; defaults to PRScale/100 (0.01).
+	Threshold uint32
+}
+
+func (p *PageRank) damping() uint64 {
+	if p.DampingNum == 0 {
+		return 3482 // ≈ 0.85 × 4096
+	}
+	return uint64(p.DampingNum)
+}
+
+func (p *PageRank) threshold() uint32 {
+	if p.Threshold == 0 {
+		return PRScale / 100
+	}
+	return p.Threshold
+}
+
+// Rank converts a PageRank vertex value to a float64 rank.
+func Rank(value uint32) float64 { return float64(value) / PRScale }
+
+// Name implements vc.Program.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// InitValue implements vc.Program: every vertex starts at the base rank
+// (1 - d).
+func (p *PageRank) InitValue(v, n uint32) uint32 {
+	return uint32(PRScale - p.damping())
+}
+
+// InitActive implements vc.Program.
+func (p *PageRank) InitActive(n uint32) vc.InitSet { return vc.InitSet{All: true} }
+
+// Process implements vc.Program.
+func (p *PageRank) Process(ctx vc.Context, msgs []vc.Msg) {
+	var delta uint32
+	if ctx.Superstep() == 0 {
+		// The initial rank mass is the first delta.
+		delta = ctx.Value()
+	} else {
+		for _, m := range msgs {
+			delta += m.Data
+		}
+		ctx.SetValue(ctx.Value() + delta)
+	}
+	if delta > p.threshold() || ctx.Superstep() == 0 {
+		out := ctx.OutEdges()
+		if len(out) > 0 {
+			share := uint32(p.damping() * uint64(delta) / PRScale / uint64(len(out)))
+			if share > 0 {
+				for _, dst := range out {
+					ctx.Send(dst, share)
+				}
+			}
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements vc.Combiner: deltas merge by addition.
+func (p *PageRank) Combine(a, b uint32) uint32 { return a + b }

@@ -1,0 +1,97 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// RandomWalk is a DrunkardMob-style walk simulation (the paper's [13]):
+// every SampleEvery-th vertex launches one walker; each walker takes up to
+// WalkLength random steps, and every vertex counts the visits it receives.
+// Walkers are individual and cannot be reduced to a single value per
+// destination vertex — which puts RW in the non-combinable class.
+//
+// All walks advance one hop per superstep, so every live walker holds the
+// same remaining-step count; a message therefore carries
+// (walkerCount << 8) | stepsRemaining for one edge. At most one message
+// traverses any edge per superstep, which keeps the program runnable on
+// edge-value engines (GraphChi) with results identical to the
+// message-passing engines. Next hops are drawn with
+// vc.Hash64(Seed, vertex, superstep, walkerIndex), so trajectories are
+// deterministic and engine-independent.
+//
+// Vertex values are visit counts.
+type RandomWalk struct {
+	// SampleEvery launches a walker from every k-th vertex; defaults to
+	// 1000 (the paper's sampling).
+	SampleEvery uint32
+	// WalkLength is the maximum number of steps per walker; defaults to
+	// 10 (the paper's max step size).
+	WalkLength uint32
+	Seed       uint64
+}
+
+func (r *RandomWalk) sampleEvery() uint32 {
+	if r.SampleEvery == 0 {
+		return 1000
+	}
+	return r.SampleEvery
+}
+
+func (r *RandomWalk) walkLength() uint32 {
+	if r.WalkLength == 0 {
+		return 10
+	}
+	if r.WalkLength > 255 {
+		return 255
+	}
+	return r.WalkLength
+}
+
+// Name implements vc.Program.
+func (r *RandomWalk) Name() string { return "randomwalk" }
+
+// InitValue implements vc.Program.
+func (r *RandomWalk) InitValue(v, n uint32) uint32 { return 0 }
+
+// InitActive implements vc.Program: the walk sources.
+func (r *RandomWalk) InitActive(n uint32) vc.InitSet {
+	var verts []uint32
+	for v := uint32(0); v < n; v += r.sampleEvery() {
+		verts = append(verts, v)
+	}
+	return vc.InitSet{Verts: verts}
+}
+
+// Process implements vc.Program.
+func (r *RandomWalk) Process(ctx vc.Context, msgs []vc.Msg) {
+	var walkers, steps uint32
+	if ctx.Superstep() == 0 {
+		walkers, steps = 1, r.walkLength()
+	} else {
+		for _, m := range msgs {
+			walkers += m.Data >> 8
+			steps = m.Data & 0xff // uniform across all live walkers
+		}
+	}
+	ctx.SetValue(ctx.Value() + walkers)
+	if steps == 0 || walkers == 0 {
+		ctx.VoteToHalt()
+		return
+	}
+	out := ctx.OutEdges()
+	if len(out) == 0 {
+		ctx.VoteToHalt()
+		return
+	}
+	// Each walker independently draws a next hop; group per destination
+	// so each out-edge carries at most one message.
+	v, step := ctx.Vertex(), ctx.Superstep()
+	perDst := make(map[uint32]uint32, walkers)
+	for i := uint32(0); i < walkers; i++ {
+		h := vc.Hash64(r.Seed, uint64(v), uint64(step), uint64(i))
+		perDst[out[h%uint64(len(out))]]++
+	}
+	payload := steps - 1
+	for dst, count := range perDst {
+		ctx.Send(dst, (count<<8)|payload)
+	}
+	ctx.VoteToHalt()
+}

@@ -1,0 +1,72 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// SSSP computes single-source shortest paths over non-negative integer
+// edge weights (the CSR val vector; Fig 1a of the paper shows the
+// weighted representation). It is the Bellman-Ford-style vertex-centric
+// formulation: a vertex whose distance improves relaxes all out-edges.
+// Updates merge by minimum, so SSSP is combinable like BFS.
+//
+// Vertex values are distances; unreachable vertices hold Inf. On
+// unweighted graphs every edge costs 1 and SSSP degenerates to BFS.
+type SSSP struct {
+	Source uint32
+}
+
+// Name implements vc.Program.
+func (s *SSSP) Name() string { return "sssp" }
+
+// InitValue implements vc.Program.
+func (s *SSSP) InitValue(v, n uint32) uint32 {
+	if v == s.Source {
+		return 0
+	}
+	return Inf
+}
+
+// InitActive implements vc.Program.
+func (s *SSSP) InitActive(n uint32) vc.InitSet {
+	return vc.InitSet{Verts: []uint32{s.Source}}
+}
+
+// Process implements vc.Program.
+func (s *SSSP) Process(ctx vc.Context, msgs []vc.Msg) {
+	dist := ctx.Value()
+	best := dist
+	if ctx.Superstep() == 0 {
+		best = 0
+	}
+	for _, m := range msgs {
+		if m.Data < best {
+			best = m.Data
+		}
+	}
+	if best < dist || ctx.Superstep() == 0 {
+		ctx.SetValue(best)
+		out := ctx.OutEdges()
+		weights := ctx.OutWeights()
+		for i, dst := range out {
+			w := uint32(1)
+			if weights != nil {
+				w = weights[i]
+			}
+			next := best + w
+			if next < best { // overflow guard
+				next = Inf
+			}
+			if next < Inf {
+				ctx.Send(dst, next)
+			}
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements vc.Combiner: distance updates merge by minimum.
+func (s *SSSP) Combine(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+package apps
+
+import "multilogvc/internal/vc"
+
+// WCC labels weakly connected components with the HashMin algorithm:
+// every vertex starts labeled with its own id and adopts the minimum
+// label heard from any neighbor, propagating changes. On the symmetric
+// closures this repository uses for undirected graphs, weak and strong
+// connectivity coincide. Updates merge by minimum (combinable).
+//
+// Vertex values are component labels (the minimum vertex id in the
+// component after convergence).
+type WCC struct{}
+
+// Name implements vc.Program.
+func (w *WCC) Name() string { return "wcc" }
+
+// InitValue implements vc.Program.
+func (w *WCC) InitValue(v, n uint32) uint32 { return v }
+
+// InitActive implements vc.Program.
+func (w *WCC) InitActive(n uint32) vc.InitSet { return vc.InitSet{All: true} }
+
+// Process implements vc.Program.
+func (w *WCC) Process(ctx vc.Context, msgs []vc.Msg) {
+	label := ctx.Value()
+	best := label
+	for _, m := range msgs {
+		if m.Data < best {
+			best = m.Data
+		}
+	}
+	if best < label || ctx.Superstep() == 0 {
+		ctx.SetValue(best)
+		for _, dst := range ctx.OutEdges() {
+			ctx.Send(dst, best)
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+// Combine implements vc.Combiner: labels merge by minimum.
+func (w *WCC) Combine(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

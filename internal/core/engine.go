@@ -1,0 +1,638 @@
+// Package core implements the MultiLogVC engine: the paper's primary
+// contribution. It runs vc.Programs out-of-core over an interval-
+// partitioned CSR graph (internal/csr), exchanging messages through the
+// multi-log update unit (internal/mlog), sorting and grouping them with
+// interval fusing (internal/sortgroup), and reducing adjacency read
+// amplification with the edge-log optimizer (internal/edgelog).
+//
+// One superstep follows Algorithm 1 of the paper:
+//
+//	for each (fused) vertex interval:
+//	    load its update log, sort by destination, extract active vertices
+//	    load the active vertices' values, adjacency (CSR pages or edge
+//	    log), and aux state
+//	    process each active vertex; sends append to next-generation logs
+//	    log out-edges of predicted-active vertices on inefficient pages
+//	flush next-generation logs; swap generations
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multilogvc/internal/bitset"
+	"multilogvc/internal/csr"
+	"multilogvc/internal/edgelog"
+	"multilogvc/internal/metrics"
+	"multilogvc/internal/mlog"
+	"multilogvc/internal/sortgroup"
+	"multilogvc/internal/vc"
+)
+
+// Config tunes the engine. The memory budget is split exactly as Fig 4 of
+// the paper: SortPct (X%) for the sort-and-group unit, MLogPct (A%) for
+// the multi-log buffers, ELogPct (B%) for the edge-log buffer.
+type Config struct {
+	// MemoryBudget in bytes; defaults to 64 MiB.
+	MemoryBudget int64
+	// SortPct defaults to 75 (the paper's X%).
+	SortPct int
+	// MLogPct defaults to 5 (the paper's A%).
+	MLogPct int
+	// ELogPct defaults to 5 (the paper's B%).
+	ELogPct int
+	// MaxSupersteps defaults to 15, the paper's evaluation cap.
+	MaxSupersteps int
+	// Workers is the vertex-processing parallelism; defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// DisableEdgeLog turns the edge-log optimizer off (ablation).
+	DisableEdgeLog bool
+	// DisableCombiner ignores programs' Combiner even when present
+	// (ablation).
+	DisableCombiner bool
+	// DisableFusing processes every vertex interval's log separately
+	// instead of fusing small consecutive logs into one sort batch
+	// (ablation of §V-A2).
+	DisableFusing bool
+	// Async selects the asynchronous computation model (§V-F): an update
+	// sent to a vertex interval that has not been processed yet in the
+	// current superstep is delivered within this superstep; updates to
+	// already-processed intervals arrive next superstep. Fixpoint
+	// algorithms (BFS, SSSP, WCC, PageRank) converge in fewer supersteps;
+	// phase-structured algorithms (MIS) require the synchronous model.
+	Async bool
+	// UtilThreshold is the inefficient-page utilization threshold;
+	// defaults to 0.10.
+	UtilThreshold float64
+	// StopAfter, when non-nil, is consulted after every superstep with
+	// the cumulative number of vertex activations; returning true ends
+	// the run (used by the BFS traversal-fraction experiments).
+	StopAfter func(superstep int, cumProcessed uint64) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 64 << 20
+	}
+	if c.SortPct <= 0 {
+		c.SortPct = 75
+	}
+	if c.MLogPct <= 0 {
+		c.MLogPct = 5
+	}
+	if c.ELogPct <= 0 {
+		c.ELogPct = 5
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 15
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.UtilThreshold <= 0 {
+		c.UtilThreshold = edgelog.DefaultThreshold
+	}
+	return c
+}
+
+// Engine runs vertex-centric programs with the MultiLogVC architecture.
+type Engine struct {
+	g   *csr.Graph
+	cfg Config
+}
+
+// New creates an engine over an opened CSR graph.
+func New(g *csr.Graph, cfg Config) *Engine {
+	return &Engine{g: g, cfg: cfg.withDefaults()}
+}
+
+// Result carries the run report and final vertex values.
+type Result struct {
+	Report *metrics.Report
+	Values []uint32
+}
+
+// Run executes prog to convergence or the superstep cap.
+func (e *Engine) Run(prog vc.Program) (*Result, error) {
+	cfg := e.cfg
+	g := e.g
+	dev := g.Device()
+	n := g.NumVertices()
+	ivs := g.Intervals()
+	name := g.Name()
+
+	report := &metrics.Report{Engine: "multilogvc", App: prog.Name(), Graph: name}
+	wallStart := time.Now()
+
+	values, err := csr.CreateValuesFunc(dev, name+".values", n, func(v uint32) uint32 {
+		return prog.InitValue(v, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var aux *csr.Aux
+	auxUser, isAux := prog.(vc.AuxUser)
+	if isAux {
+		aux, err = csr.CreateAux(g, prog.Name(), auxUser.AuxInit(n))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var combiner vc.Combiner
+	if c, ok := prog.(vc.Combiner); ok && !cfg.DisableCombiner {
+		combiner = c
+	}
+
+	mlogBudget := cfg.MemoryBudget * int64(cfg.MLogPct) / 100
+	sortBudget := cfg.MemoryBudget * int64(cfg.SortPct) / 100
+	if cfg.DisableFusing {
+		sortBudget = 1 // every batch covers exactly one interval
+	}
+	curLog, err := mlog.New(dev, name+".mlog.0", len(ivs), mlogBudget)
+	if err != nil {
+		return nil, err
+	}
+	nextLog, err := mlog.New(dev, name+".mlog.1", len(ivs), mlogBudget)
+	if err != nil {
+		return nil, err
+	}
+
+	var elog *edgelog.EdgeLog
+	var pred *edgelog.Predictor
+	if !cfg.DisableEdgeLog {
+		elog, err = edgelog.New(dev, name+".elog", g.HasWeights())
+		if err != nil {
+			return nil, err
+		}
+		pred = edgelog.NewPredictor(n, dev.PageSize(), cfg.UtilThreshold)
+	}
+	elogBudget := cfg.MemoryBudget * int64(cfg.ELogPct) / 100
+
+	// carry holds vertices that are live without needing a message
+	// (processed last superstep and did not vote to halt); messages in
+	// the current log activate the rest.
+	carry := bitset.New(int(n))
+	is := prog.InitActive(n)
+	if is.All {
+		for v := uint32(0); v < n; v++ {
+			carry.Set(int(v))
+		}
+	} else {
+		for _, v := range is.Verts {
+			carry.Set(int(v))
+		}
+	}
+
+	var cumProcessed uint64
+	converged := false
+
+	for step := 0; step < cfg.MaxSupersteps; step++ {
+		var stepMuts []vc.Mutation
+		if !carry.Any() && curLog.Total() == 0 {
+			converged = true
+			break
+		}
+		stepStart := time.Now()
+		devBefore := dev.Stats()
+		ss := metrics.SuperstepStats{Superstep: step}
+
+		for ivStart := 0; ivStart < len(ivs); {
+			batch, err := sortgroup.LoadFused(curLog, ivs, ivStart, sortBudget)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.processBatch(&batchRun{
+				prog: prog, combiner: combiner, aux: aux, isAux: isAux,
+				values: values, batch: batch, carry: carry, step: step,
+				elog: elog, pred: pred, elogBudget: elogBudget,
+				nextLog: nextLog, curLog: curLog, ss: &ss,
+				muts: &stepMuts,
+			}); err != nil {
+				return nil, err
+			}
+			ivStart = batch.LastIv + 1
+		}
+
+		// Apply structural mutations at the superstep boundary (§V-E):
+		// they become visible at the start of the next superstep.
+		if len(stepMuts) > 0 && isAux {
+			// Merging rewrites the in-CSR the aux layout mirrors; the aux
+			// file would go stale. The paper's aux-state programs (CDLP,
+			// GC) do not mutate structure either.
+			return nil, fmt.Errorf("core: structural mutation is not supported for programs with per-in-edge aux state")
+		}
+		for _, m := range stepMuts {
+			if m.Add {
+				if err := g.AddEdgeWeighted(m.Src, m.Dst, m.Weight, 0); err != nil {
+					return nil, err
+				}
+			} else if err := g.RemoveEdge(m.Src, m.Dst, 0); err != nil {
+				return nil, err
+			}
+		}
+
+		if err := nextLog.FlushAll(); err != nil {
+			return nil, err
+		}
+		if elog != nil {
+			st := pred.EndSuperstep()
+			ss.InefficientPages = st.InefficientPages
+			ss.PredictedIneff = st.PredictedIneff
+			ss.CorrectPredicted = st.Correct
+			ss.UtilPagesTouched = st.PagesTouched
+			if err := elog.EndSuperstep(); err != nil {
+				return nil, err
+			}
+		}
+
+		curLog, nextLog = nextLog, curLog
+		if err := nextLog.ResetAll(); err != nil {
+			return nil, err
+		}
+
+		devDelta := dev.Stats().Sub(devBefore)
+		ss.PagesRead = devDelta.PagesRead
+		ss.PagesWritten = devDelta.PagesWritten
+		ss.StorageTime = devDelta.StorageTime()
+		ss.ComputeTime = time.Since(stepStart)
+		cumProcessed += ss.Active
+		report.Supersteps = append(report.Supersteps, ss)
+
+		if cfg.StopAfter != nil && cfg.StopAfter(step, cumProcessed) {
+			break
+		}
+	}
+	if !converged {
+		converged = !carry.Any() && curLog.Total() == 0
+	}
+	report.Converged = converged
+	report.WallTime = time.Since(wallStart)
+	report.Finish()
+
+	finalValues, err := values.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: report, Values: finalValues}, nil
+}
+
+// batchRun bundles the state of one fused-interval batch.
+type batchRun struct {
+	prog       vc.Program
+	combiner   vc.Combiner
+	aux        *csr.Aux
+	isAux      bool
+	values     *csr.Values
+	batch      *sortgroup.Batch
+	carry      *bitset.Set
+	step       int
+	elog       *edgelog.EdgeLog
+	pred       *edgelog.Predictor
+	elogBudget int64
+	nextLog    *mlog.Log
+	curLog     *mlog.Log
+	ss         *metrics.SuperstepStats
+	muts       *[]vc.Mutation
+}
+
+// adjEntry is one active vertex's adjacency, plus where it came from.
+type adjEntry struct {
+	nbrs      []uint32
+	weights   []uint32 // nil for unweighted graphs
+	fromElog  bool
+	pageIneff bool // any covering CSR page measured inefficient now
+	interval  int32
+	firstPage int32
+	lastPage  int32
+}
+
+func (e *Engine) processBatch(br *batchRun) error {
+	batch := br.batch
+	// Active set = message destinations ∪ carried-live vertices in range.
+	verts := batch.ActiveVertices()
+	br.carry.RangeInRange(int(batch.Lo), int(batch.Hi), func(i int) bool {
+		verts = append(verts, uint32(i))
+		return true
+	})
+	verts = sortedDedup(verts)
+	if len(verts) == 0 {
+		return nil
+	}
+	br.ss.Active += uint64(len(verts))
+	br.ss.MsgsDelivered += uint64(len(batch.Recs))
+	if br.pred != nil {
+		for _, v := range verts {
+			br.pred.NoteActive(v)
+		}
+	}
+
+	// Load values for exactly the covering pages of the active set.
+	vb, _, err := br.values.LoadForVerts(verts)
+	if err != nil {
+		return err
+	}
+
+	// Split adjacency sources: edge log vs CSR, then load both.
+	adj := make(map[uint32]*adjEntry, len(verts))
+	var fromLog []uint32
+	perIv := make(map[int][]uint32)
+	for _, v := range verts {
+		if br.elog != nil && br.elog.Has(v) {
+			fromLog = append(fromLog, v)
+		} else {
+			iv := e.g.IntervalOf(v)
+			perIv[iv] = append(perIv[iv], v)
+		}
+	}
+	if len(fromLog) > 0 {
+		pages, err := br.elog.Load(fromLog, func(v uint32, nbrs, weights []uint32) {
+			cp := make([]uint32, len(nbrs))
+			copy(cp, nbrs)
+			var wcp []uint32
+			if weights != nil {
+				wcp = make([]uint32, len(weights))
+				copy(wcp, weights)
+			}
+			adj[v] = &adjEntry{nbrs: cp, weights: wcp, fromElog: true}
+		})
+		if err != nil {
+			return err
+		}
+		br.ss.EdgeLogPagesRead += uint64(pages)
+	}
+	ivKeys := make([]int, 0, len(perIv))
+	for iv := range perIv {
+		ivKeys = append(ivKeys, iv)
+	}
+	sort.Ints(ivKeys)
+	for _, iv := range ivKeys {
+		stats, err := e.g.LoadOutEdgesFull(iv, perIv[iv], func(v uint32, nbrs, weights []uint32, first, last int32) {
+			cp := make([]uint32, len(nbrs))
+			copy(cp, nbrs)
+			var wcp []uint32
+			if weights != nil {
+				wcp = make([]uint32, len(weights))
+				copy(wcp, weights)
+			}
+			adj[v] = &adjEntry{nbrs: cp, weights: wcp, interval: int32(iv), firstPage: first, lastPage: last}
+		})
+		if err != nil {
+			return err
+		}
+		br.ss.ColIdxPagesRead += uint64(stats.ColIdxPages)
+		if br.pred != nil {
+			br.pred.NotePageUtils(stats.PageUtils)
+			// Mark vertices whose pages measured inefficient this
+			// superstep; the edge-log decision reads this below.
+			for _, v := range perIv[iv] {
+				a := adj[v]
+				for p := a.firstPage; p <= a.lastPage; p++ {
+					if br.pred.PageIneffNow(csr.PageKey{Side: 0, Interval: a.interval, Page: p}) {
+						a.pageIneff = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Aux state for AuxUser programs.
+	var auxBatches map[int]*csr.AuxBatch
+	inSources := make(map[uint32][]uint32)
+	if br.isAux {
+		auxBatches = make(map[int]*csr.AuxBatch)
+		perIvAll := make(map[int][]uint32)
+		for _, v := range verts {
+			iv := e.g.IntervalOf(v)
+			perIvAll[iv] = append(perIvAll[iv], v)
+		}
+		keys := make([]int, 0, len(perIvAll))
+		for iv := range perIvAll {
+			keys = append(keys, iv)
+		}
+		sort.Ints(keys)
+		for _, iv := range keys {
+			ab, stats, err := br.aux.LoadBatch(iv, perIvAll[iv])
+			if err != nil {
+				return err
+			}
+			auxBatches[iv] = ab
+			_ = stats // device stats already count these pages
+			if _, err := e.g.LoadInEdges(iv, perIvAll[iv], func(v uint32, srcs []uint32) {
+				cp := make([]uint32, len(srcs))
+				copy(cp, srcs)
+				inSources[v] = cp
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Per-vertex message ranges within the sorted record slice.
+	msgRange := make([][2]int, len(verts))
+	recs := batch.Recs
+	pos := 0
+	for i, v := range verts {
+		for pos < len(recs) && recs[pos].Dst < v {
+			pos++
+		}
+		start := pos
+		for pos < len(recs) && recs[pos].Dst == v {
+			pos++
+		}
+		msgRange[i] = [2]int{start, pos}
+	}
+
+	// Process vertices in parallel chunks.
+	workers := e.cfg.Workers
+	if workers > len(verts) {
+		workers = len(verts)
+	}
+	halted := make([]bool, len(verts))
+	var sent atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	workerMuts := make([][]vc.Mutation, workers)
+	chunk := (len(verts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(verts) {
+			hi = len(verts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ctx := &engineCtx{eng: e, br: br, vb: vb, adj: adj, inSources: inSources, auxBatches: auxBatches, sent: &sent, muts: &workerMuts[w]}
+			var msgBuf []vc.Msg
+			for i := lo; i < hi; i++ {
+				v := verts[i]
+				r := msgRange[i]
+				msgBuf = msgBuf[:0]
+				for k := r[0]; k < r[1]; k++ {
+					msgBuf = append(msgBuf, vc.Msg{Src: recs[k].Src, Data: recs[k].Data})
+				}
+				msgs := msgBuf
+				if br.combiner != nil && len(msgs) > 1 {
+					acc := msgs[0].Data
+					for _, m := range msgs[1:] {
+						acc = br.combiner.Combine(acc, m.Data)
+					}
+					msgs = []vc.Msg{{Src: msgs[0].Src, Data: acc}}
+				}
+				ctx.vertex = v
+				ctx.haltedFlag = &halted[i]
+				br.prog.Process(ctx, msgs)
+				if ctx.err != nil {
+					firstErr.CompareAndSwap(nil, ctx.err)
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	for _, wm := range workerMuts {
+		*br.muts = append(*br.muts, wm...)
+	}
+	br.ss.MsgsSent += sent.Load()
+
+	// Update the carry set: processed vertices stay live unless halted.
+	for i, v := range verts {
+		br.carry.SetTo(int(v), !halted[i])
+	}
+
+	// Edge-log decisions (single-threaded; the log writer is not
+	// concurrent): log CSR-served vertices predicted active whose pages
+	// were inefficient, within the edge-log buffer budget.
+	if br.elog != nil {
+		for _, v := range verts {
+			a := adj[v]
+			if a == nil || a.fromElog || len(a.nbrs) == 0 || !a.pageIneff {
+				continue
+			}
+			if !br.pred.PredictActive(v) {
+				continue
+			}
+			if br.elog.LoggedBytes() >= br.elogBudget {
+				break
+			}
+			if err := br.elog.LogEdges(v, a.nbrs, a.weights); err != nil {
+				return err
+			}
+			br.ss.EdgeLogPagesWrite++ // approximate: accounted precisely at flush
+		}
+	}
+
+	// Write dirty value pages and aux pages back.
+	if _, err := vb.Flush(); err != nil {
+		return err
+	}
+	for _, ab := range auxBatches {
+		if _, err := ab.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engineCtx implements vc.Context for one worker.
+type engineCtx struct {
+	eng        *Engine
+	br         *batchRun
+	vb         *csr.ValueBatch
+	adj        map[uint32]*adjEntry
+	inSources  map[uint32][]uint32
+	auxBatches map[int]*csr.AuxBatch
+	sent       *atomic.Uint64
+
+	vertex     uint32
+	haltedFlag *bool
+	muts       *[]vc.Mutation
+	err        error
+}
+
+func (c *engineCtx) Superstep() int      { return c.br.step }
+func (c *engineCtx) NumVertices() uint32 { return c.eng.g.NumVertices() }
+func (c *engineCtx) Vertex() uint32      { return c.vertex }
+func (c *engineCtx) Value() uint32       { return c.vb.Get(c.vertex) }
+func (c *engineCtx) SetValue(v uint32)   { c.vb.Set(c.vertex, v) }
+func (c *engineCtx) VoteToHalt()         { *c.haltedFlag = true }
+
+func (c *engineCtx) OutEdges() []uint32 {
+	if a := c.adj[c.vertex]; a != nil {
+		return a.nbrs
+	}
+	return nil
+}
+
+func (c *engineCtx) OutWeights() []uint32 {
+	if a := c.adj[c.vertex]; a != nil {
+		return a.weights
+	}
+	return nil
+}
+
+func (c *engineCtx) Send(dst, data uint32) {
+	iv := c.eng.g.IntervalOf(dst)
+	log := c.br.nextLog
+	// Asynchronous model: forward sends (to intervals processed later
+	// this superstep) stay in the current generation.
+	if c.eng.cfg.Async && iv > c.br.batch.LastIv {
+		log = c.br.curLog
+	}
+	if err := log.Append(iv, dst, c.vertex, data); err != nil && c.err == nil {
+		c.err = err
+	}
+	c.sent.Add(1)
+}
+
+func (c *engineCtx) InEdgeSources() []uint32 { return c.inSources[c.vertex] }
+
+// AddEdge implements vc.Mutator: the edge appears next superstep.
+func (c *engineCtx) AddEdge(src, dst, weight uint32) {
+	*c.muts = append(*c.muts, vc.Mutation{Add: true, Src: src, Dst: dst, Weight: weight})
+}
+
+// RemoveEdge implements vc.Mutator: the removal applies next superstep.
+func (c *engineCtx) RemoveEdge(src, dst uint32) {
+	*c.muts = append(*c.muts, vc.Mutation{Src: src, Dst: dst})
+}
+
+func (c *engineCtx) Aux() []uint32 {
+	if c.auxBatches == nil {
+		return nil
+	}
+	iv := c.eng.g.IntervalOf(c.vertex)
+	if ab := c.auxBatches[iv]; ab != nil {
+		return ab.Get(c.vertex)
+	}
+	return nil
+}
+
+func sortedDedup(s []uint32) []uint32 {
+	if len(s) == 0 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}

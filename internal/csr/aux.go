@@ -1,0 +1,167 @@
+package csr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"multilogvc/internal/ssd"
+)
+
+// Aux is per-in-edge auxiliary vertex state stored on the device, one
+// uint32 per in-edge, laid out per interval in in-CSR order. The community
+// detection application uses it to remember each in-neighbor's last known
+// label (paper Algorithm 2: V_inf.edge(src).set_label). Loading and
+// storing aux state for active vertices is page-granular, which is why
+// CDLP on MultiLogVC pays extra reads relative to GraphChi (§VIII).
+type Aux struct {
+	g     *Graph
+	name  string
+	files []*ssd.File
+}
+
+func auxFileName(graphName, auxName string, iv int) string {
+	return fmt.Sprintf("%s.aux.%s.%d", graphName, auxName, iv)
+}
+
+// CreateAux creates (or resets) an aux array named auxName for graph g,
+// one uint32 per in-edge, initialized to init.
+func CreateAux(g *Graph, auxName string, init uint32) (*Aux, error) {
+	a := &Aux{g: g, name: auxName}
+	for i := range g.meta.Intervals {
+		f, err := g.dev.OpenOrCreate(auxFileName(g.meta.Name, auxName, i))
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Truncate(); err != nil {
+			return nil, err
+		}
+		w := ssd.NewWriter(f)
+		entries := g.meta.InColIdxSize[i] / 4
+		for j := int64(0); j < entries; j++ {
+			if err := w.WriteU32(init); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		a.files = append(a.files, f)
+	}
+	return a, nil
+}
+
+// AuxBatch holds the aux slices of a set of active vertices in one
+// interval. Get returns a mutable slice (parallel to the vertex's in-CSR
+// source list); Flush writes dirty entries back with page-granular RMW.
+type AuxBatch struct {
+	aux    *Aux
+	iv     int
+	ranges map[uint32][2]uint64 // vertex -> [start,end) entry offsets
+	data   map[uint32][]uint32  // vertex -> loaded slice
+	pages  map[int][]byte       // page index -> page image
+	order  []int                // sorted page indices
+}
+
+// LoadBatch fetches the aux slices of the given vertices (sorted, all in
+// interval iv). It reads the covering in-rowptr and aux pages as batches
+// and returns IO stats alongside the batch.
+func (a *Aux) LoadBatch(iv int, verts []uint32) (*AuxBatch, LoadStats, error) {
+	var stats LoadStats
+	b := &AuxBatch{
+		aux:    a,
+		iv:     iv,
+		ranges: make(map[uint32][2]uint64, len(verts)),
+		data:   make(map[uint32][]uint32, len(verts)),
+		pages:  make(map[int][]byte),
+	}
+	if len(verts) == 0 {
+		return b, stats, nil
+	}
+	interval := a.g.meta.Intervals[iv]
+	rows, rowPages, err := a.g.readRowEntries(a.g.inRow[iv], interval, verts)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.RowPtrPages = rowPages
+
+	ps := a.g.dev.PageSize()
+	pageSet := make(map[int]bool)
+	for i, v := range verts {
+		start, end := rows[2*i], rows[2*i+1]
+		b.ranges[v] = [2]uint64{start, end}
+		if start == end {
+			continue
+		}
+		for p := int64(start) * 4 / int64(ps); p <= (int64(end)*4-1)/int64(ps); p++ {
+			pageSet[int(p)] = true
+		}
+	}
+	pages := make([]int, 0, len(pageSet))
+	for p := range pageSet {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	buf := make([]byte, len(pages)*ps)
+	if err := a.files[iv].ReadPages(pages, buf); err != nil {
+		return nil, stats, err
+	}
+	stats.ColIdxPages = len(pages)
+	for i, p := range pages {
+		b.pages[p] = buf[i*ps : (i+1)*ps]
+	}
+	b.order = pages
+
+	for i, v := range verts {
+		start, end := rows[2*i], rows[2*i+1]
+		vals := make([]uint32, end-start)
+		for j := range vals {
+			off := (int64(start) + int64(j)) * 4
+			page := b.pages[int(off/int64(ps))]
+			vals[j] = binary.LittleEndian.Uint32(page[off%int64(ps):])
+		}
+		b.data[v] = vals
+	}
+	return b, stats, nil
+}
+
+// Get returns the mutable aux slice for v (parallel to its in-CSR source
+// list), or nil if v was not in the batch.
+func (b *AuxBatch) Get(v uint32) []uint32 { return b.data[v] }
+
+// Flush writes all batch slices back into the loaded page images and
+// writes those pages to the device. It returns the number of pages
+// written.
+func (b *AuxBatch) Flush() (int, error) {
+	if len(b.pages) == 0 {
+		return 0, nil
+	}
+	ps := b.aux.g.dev.PageSize()
+	for v, vals := range b.data {
+		start := b.ranges[v][0]
+		for j, val := range vals {
+			off := (int64(start) + int64(j)) * 4
+			page := b.pages[int(off/int64(ps))]
+			binary.LittleEndian.PutUint32(page[off%int64(ps):], val)
+		}
+	}
+	// Write back in contiguous runs to batch channel usage.
+	f := b.aux.files[b.iv]
+	written := 0
+	for i := 0; i < len(b.order); {
+		j := i
+		for j+1 < len(b.order) && b.order[j+1] == b.order[j]+1 {
+			j++
+		}
+		run := make([]byte, (j-i+1)*ps)
+		for k := i; k <= j; k++ {
+			copy(run[(k-i)*ps:], b.pages[b.order[k]])
+		}
+		if err := f.WritePageRange(b.order[i], run); err != nil {
+			return written, err
+		}
+		written += j - i + 1
+		i = j + 1
+	}
+	return written, nil
+}

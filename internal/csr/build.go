@@ -1,0 +1,298 @@
+package csr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/ssd"
+)
+
+// Meta is the JSON metadata persisted alongside a graph's CSR files.
+type Meta struct {
+	Name        string     `json:"name"`
+	NumVertices uint32     `json:"num_vertices"`
+	NumEdges    uint64     `json:"num_edges"` // directed edge count
+	Intervals   []Interval `json:"intervals"`
+	// Sizes record logical byte lengths of each per-interval file so the
+	// graph can be reopened from a disk-backed device.
+	OutRowPtrSize []int64 `json:"out_rowptr_size"`
+	OutColIdxSize []int64 `json:"out_colidx_size"`
+	InRowPtrSize  []int64 `json:"in_rowptr_size"`
+	InColIdxSize  []int64 `json:"in_colidx_size"`
+	MaxOutDegree  uint32  `json:"max_out_degree"`
+	MaxInDegree   uint32  `json:"max_in_degree"`
+	// HasWeights marks graphs built with per-edge weights (the CSR val
+	// vector of Fig 1a); the val files mirror the colidx layout.
+	HasWeights bool    `json:"has_weights"`
+	OutValSize []int64 `json:"out_val_size,omitempty"`
+	InValSize  []int64 `json:"in_val_size,omitempty"`
+}
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// NumVertices overrides the inferred vertex count (max id + 1) when
+	// the graph has trailing isolated vertices.
+	NumVertices uint32
+	// IntervalBudget is the per-interval worst-case update volume in
+	// bytes (§V-A1). Defaults to 1MB.
+	IntervalBudget int64
+	// MsgBytes is the logged record size. Defaults to MsgBytes (12).
+	MsgBytes int
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.IntervalBudget <= 0 {
+		o.IntervalBudget = 1 << 20
+	}
+	if o.MsgBytes <= 0 {
+		o.MsgBytes = MsgBytes
+	}
+	return o
+}
+
+func metaName(name string) string             { return name + ".meta" }
+func outRowPtrName(name string, i int) string { return fmt.Sprintf("%s.out.rowptr.%d", name, i) }
+func outColIdxName(name string, i int) string { return fmt.Sprintf("%s.out.colidx.%d", name, i) }
+func inRowPtrName(name string, i int) string  { return fmt.Sprintf("%s.in.rowptr.%d", name, i) }
+func inColIdxName(name string, i int) string  { return fmt.Sprintf("%s.in.colidx.%d", name, i) }
+func outValName(name string, i int) string    { return fmt.Sprintf("%s.out.val.%d", name, i) }
+func inValName(name string, i int) string     { return fmt.Sprintf("%s.in.val.%d", name, i) }
+
+// Build writes edges to the device as an interval-partitioned CSR graph
+// (both out-CSR and in-CSR) and returns the opened Graph.
+//
+// The edge list is treated as directed; for undirected graphs pass the
+// symmetric closure (see graphio.MakeUndirected).
+func Build(dev *ssd.Device, name string, edges []graphio.Edge, opts BuildOptions) (*Graph, error) {
+	wedges := make([]graphio.WeightedEdge, len(edges))
+	for i, e := range edges {
+		wedges[i] = graphio.WeightedEdge{Src: e.Src, Dst: e.Dst}
+	}
+	return build(dev, name, wedges, false, opts)
+}
+
+// BuildWeighted is Build for weighted edges: per-edge weights are stored
+// in val files mirroring the colidx layout (the paper's val vector).
+func BuildWeighted(dev *ssd.Device, name string, wedges []graphio.WeightedEdge, opts BuildOptions) (*Graph, error) {
+	kept := make([]graphio.WeightedEdge, len(wedges))
+	copy(kept, wedges)
+	return build(dev, name, kept, true, opts)
+}
+
+func build(dev *ssd.Device, name string, wedges []graphio.WeightedEdge, weighted bool, opts BuildOptions) (*Graph, error) {
+	opts = opts.withDefaults()
+	edges := graphio.Strip(wedges)
+	n := graphio.NumVertices(edges)
+	if opts.NumVertices > n {
+		n = opts.NumVertices
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("csr: cannot build empty graph %q", name)
+	}
+
+	outDeg := graphio.OutDegrees(edges, n)
+	inDeg := graphio.InDegrees(edges, n)
+	ivs := Partition(inDeg, opts.MsgBytes, opts.IntervalBudget)
+
+	meta := Meta{
+		Name:        name,
+		NumVertices: n,
+		NumEdges:    uint64(len(edges)),
+		Intervals:   ivs,
+		HasWeights:  weighted,
+	}
+	for _, d := range outDeg {
+		if d > meta.MaxOutDegree {
+			meta.MaxOutDegree = d
+		}
+	}
+	for _, d := range inDeg {
+		if d > meta.MaxInDegree {
+			meta.MaxInDegree = d
+		}
+	}
+
+	// Out-CSR: edges sorted by (src, dst).
+	graphio.SortWeighted(wedges)
+	if err := writeCSRSide(dev, name, ivs, wedges, outDeg, true, weighted, &meta); err != nil {
+		return nil, err
+	}
+
+	// In-CSR: edges sorted by (dst, src); colidx holds sources.
+	graphio.SortWeightedByDst(wedges)
+	if err := writeCSRSide(dev, name, ivs, wedges, inDeg, false, weighted, &meta); err != nil {
+		return nil, err
+	}
+
+	if err := writeMeta(dev, name, &meta); err != nil {
+		return nil, err
+	}
+	return Open(dev, name)
+}
+
+// writeCSRSide writes the per-interval rowptr/colidx (and, for weighted
+// graphs, val) files for one side. For the out side, edges are sorted by
+// src and colidx stores dsts; for the in side, edges are sorted by dst and
+// colidx stores srcs.
+func writeCSRSide(dev *ssd.Device, name string, ivs []Interval, sorted []graphio.WeightedEdge, deg []uint32, outSide, weighted bool, meta *Meta) error {
+	key := func(e graphio.WeightedEdge) uint32 {
+		if outSide {
+			return e.Src
+		}
+		return e.Dst
+	}
+	val := func(e graphio.WeightedEdge) uint32 {
+		if outSide {
+			return e.Dst
+		}
+		return e.Src
+	}
+	rowName, colName, valName := inRowPtrName, inColIdxName, inValName
+	if outSide {
+		rowName, colName, valName = outRowPtrName, outColIdxName, outValName
+	}
+
+	pos := 0 // cursor into sorted
+	for i, iv := range ivs {
+		rf, err := dev.Create(rowName(name, i))
+		if err != nil {
+			return fmt.Errorf("csr: create rowptr: %w", err)
+		}
+		cf, err := dev.Create(colName(name, i))
+		if err != nil {
+			return fmt.Errorf("csr: create colidx: %w", err)
+		}
+		rw := ssd.NewWriter(rf)
+		cw := ssd.NewWriter(cf)
+		var vw *ssd.Writer
+		var vf *ssd.File
+		if weighted {
+			vf, err = dev.Create(valName(name, i))
+			if err != nil {
+				return fmt.Errorf("csr: create val: %w", err)
+			}
+			vw = ssd.NewWriter(vf)
+		}
+
+		var off uint64
+		for v := iv.Lo; v < iv.Hi; v++ {
+			if err := rw.WriteU64(off); err != nil {
+				return err
+			}
+			off += uint64(deg[v])
+		}
+		if err := rw.WriteU64(off); err != nil {
+			return err
+		}
+
+		// Advance past any edges from vertices before this interval
+		// (only possible for the first interval if ids were sparse).
+		for pos < len(sorted) && key(sorted[pos]) < iv.Lo {
+			pos++
+		}
+		for pos < len(sorted) && key(sorted[pos]) < iv.Hi {
+			if err := cw.WriteU32(val(sorted[pos])); err != nil {
+				return err
+			}
+			if weighted {
+				if err := vw.WriteU32(sorted[pos].Weight); err != nil {
+					return err
+				}
+			}
+			pos++
+		}
+		if err := rw.Close(); err != nil {
+			return err
+		}
+		if err := cw.Close(); err != nil {
+			return err
+		}
+		if weighted {
+			if err := vw.Close(); err != nil {
+				return err
+			}
+		}
+		if outSide {
+			meta.OutRowPtrSize = append(meta.OutRowPtrSize, rf.Size())
+			meta.OutColIdxSize = append(meta.OutColIdxSize, cf.Size())
+			if weighted {
+				meta.OutValSize = append(meta.OutValSize, vf.Size())
+			}
+		} else {
+			meta.InRowPtrSize = append(meta.InRowPtrSize, rf.Size())
+			meta.InColIdxSize = append(meta.InColIdxSize, cf.Size())
+			if weighted {
+				meta.InValSize = append(meta.InValSize, vf.Size())
+			}
+		}
+	}
+	return nil
+}
+
+func writeMeta(dev *ssd.Device, name string, meta *Meta) error {
+	f, err := dev.OpenOrCreate(metaName(name))
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	w := ssd.NewWriter(f)
+	if _, err := w.Write(blob); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func readMeta(dev *ssd.Device, name string) (*Meta, error) {
+	f, err := dev.OpenFile(metaName(name))
+	if err != nil {
+		return nil, fmt.Errorf("csr: graph %q not found: %w", name, err)
+	}
+	blob := make([]byte, f.Size())
+	if err := f.ReadAt(blob, 0); err != nil {
+		return nil, err
+	}
+	// Devices re-adopted from a backing directory only know page-aligned
+	// sizes; trim the zero padding before decoding.
+	blob = bytes.TrimRight(blob, "\x00")
+	var meta Meta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, fmt.Errorf("csr: corrupt metadata for %q: %w", name, err)
+	}
+	return &meta, nil
+}
+
+// Remove deletes all device files belonging to the named graph.
+func Remove(dev *ssd.Device, name string) error {
+	meta, err := readMeta(dev, name)
+	if err != nil {
+		return err
+	}
+	for i := range meta.Intervals {
+		for _, fn := range []string{
+			outRowPtrName(name, i), outColIdxName(name, i),
+			inRowPtrName(name, i), inColIdxName(name, i),
+			outValName(name, i), inValName(name, i),
+		} {
+			if dev.Exists(fn) {
+				if err := dev.Remove(fn); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return dev.Remove(metaName(name))
+}
+
+// sortU32 sorts a uint32 slice ascending.
+func sortU32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

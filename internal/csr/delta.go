@@ -1,0 +1,336 @@
+package csr
+
+import (
+	"fmt"
+	"sort"
+
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/ssd"
+)
+
+// DeltaSet buffers graph structural updates (§V-E). Updates are kept in
+// memory per interval and overlaid on adjacency reads; when an interval
+// accumulates more than MergeThreshold updates its CSR files are rewritten.
+// wpair is a pending edge endpoint with its weight.
+type wpair struct {
+	id, w uint32
+}
+
+type DeltaSet struct {
+	// addOut[v] / delOut[v]: pending out-edge changes of vertex v.
+	addOut map[uint32][]wpair
+	delOut map[uint32]map[uint32]bool
+	// addIn[v] / delIn[v]: pending in-edge changes (sources) of vertex v.
+	addIn map[uint32][]wpair
+	delIn map[uint32]map[uint32]bool
+	// perInterval counts pending updates per interval of the affected
+	// endpoint (out side uses src's interval, in side uses dst's).
+	perInterval map[int]int
+	merges      int
+}
+
+func newDeltaSet() *DeltaSet {
+	return &DeltaSet{
+		addOut:      make(map[uint32][]wpair),
+		delOut:      make(map[uint32]map[uint32]bool),
+		addIn:       make(map[uint32][]wpair),
+		delIn:       make(map[uint32]map[uint32]bool),
+		perInterval: make(map[int]int),
+	}
+}
+
+// DefaultMergeThreshold is the pending-update count per interval above
+// which the interval's CSR files are rewritten.
+const DefaultMergeThreshold = 4096
+
+// PendingUpdates returns the total number of buffered structural updates.
+func (g *Graph) PendingUpdates() int {
+	if g.deltas == nil {
+		return 0
+	}
+	total := 0
+	for _, c := range g.deltas.perInterval {
+		total += c
+	}
+	return total
+}
+
+// Merges returns how many interval rewrites structural updates have
+// triggered so far.
+func (g *Graph) Merges() int {
+	if g.deltas == nil {
+		return 0
+	}
+	return g.deltas.merges
+}
+
+// AddEdge buffers the addition of directed edge (src, dst). The edge is
+// visible to subsequent adjacency reads immediately; the CSR files are
+// rewritten lazily once the affected interval crosses mergeThreshold
+// pending updates (pass 0 for the default).
+func (g *Graph) AddEdge(src, dst uint32, mergeThreshold int) error {
+	return g.AddEdgeWeighted(src, dst, 1, mergeThreshold)
+}
+
+// AddEdgeWeighted is AddEdge with an explicit weight (meaningful on
+// weighted graphs; ignored otherwise).
+func (g *Graph) AddEdgeWeighted(src, dst, weight uint32, mergeThreshold int) error {
+	if src >= g.meta.NumVertices || dst >= g.meta.NumVertices {
+		return fmt.Errorf("csr: AddEdge(%d,%d) out of range n=%d", src, dst, g.meta.NumVertices)
+	}
+	if g.deltas == nil {
+		g.deltas = newDeltaSet()
+	}
+	d := g.deltas
+	if del, ok := d.delOut[src]; ok && del[dst] {
+		delete(del, dst)
+	} else {
+		d.addOut[src] = append(d.addOut[src], wpair{id: dst, w: weight})
+	}
+	if del, ok := d.delIn[dst]; ok && del[src] {
+		delete(del, src)
+	} else {
+		d.addIn[dst] = append(d.addIn[dst], wpair{id: src, w: weight})
+	}
+	return g.noteUpdate(src, dst, mergeThreshold)
+}
+
+// RemoveEdge buffers the removal of directed edge (src, dst).
+func (g *Graph) RemoveEdge(src, dst uint32, mergeThreshold int) error {
+	if src >= g.meta.NumVertices || dst >= g.meta.NumVertices {
+		return fmt.Errorf("csr: RemoveEdge(%d,%d) out of range n=%d", src, dst, g.meta.NumVertices)
+	}
+	if g.deltas == nil {
+		g.deltas = newDeltaSet()
+	}
+	d := g.deltas
+	if removed := removeFromSlice(d.addOut, src, dst); !removed {
+		if d.delOut[src] == nil {
+			d.delOut[src] = make(map[uint32]bool)
+		}
+		d.delOut[src][dst] = true
+	}
+	if removed := removeFromSlice(d.addIn, dst, src); !removed {
+		if d.delIn[dst] == nil {
+			d.delIn[dst] = make(map[uint32]bool)
+		}
+		d.delIn[dst][src] = true
+	}
+	return g.noteUpdate(src, dst, mergeThreshold)
+}
+
+func removeFromSlice(m map[uint32][]wpair, key, val uint32) bool {
+	s, ok := m[key]
+	if !ok {
+		return false
+	}
+	for i, x := range s {
+		if x.id == val {
+			m[key] = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) noteUpdate(src, dst uint32, mergeThreshold int) error {
+	if mergeThreshold <= 0 {
+		mergeThreshold = DefaultMergeThreshold
+	}
+	d := g.deltas
+	for _, iv := range []int{g.IntervalOf(src), g.IntervalOf(dst)} {
+		d.perInterval[iv]++
+		if d.perInterval[iv] >= mergeThreshold {
+			if err := g.MergeInterval(iv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// apply overlays pending deltas on a freshly read neighbor list (and its
+// weights slice, which may be nil for unweighted graphs).
+func (d *DeltaSet) apply(side uint8, v uint32, nbrs, weights []uint32) ([]uint32, []uint32) {
+	var adds []wpair
+	var dels map[uint32]bool
+	if side == 0 {
+		adds, dels = d.addOut[v], d.delOut[v]
+	} else {
+		adds, dels = d.addIn[v], d.delIn[v]
+	}
+	if len(adds) == 0 && len(dels) == 0 {
+		return nbrs, weights
+	}
+	out := make([]uint32, 0, len(nbrs)+len(adds))
+	var outW []uint32
+	if weights != nil {
+		outW = make([]uint32, 0, len(nbrs)+len(adds))
+	}
+	for i, nb := range nbrs {
+		if !dels[nb] {
+			out = append(out, nb)
+			if outW != nil {
+				outW = append(outW, weights[i])
+			}
+		}
+	}
+	for _, a := range adds {
+		out = append(out, a.id)
+		if outW != nil {
+			outW = append(outW, a.w)
+		}
+	}
+	return out, outW
+}
+
+// MergeInterval rewrites interval iv's out- and in-CSR files with all
+// pending deltas applied, then discards those deltas.
+func (g *Graph) MergeInterval(iv int) error {
+	if g.deltas == nil {
+		return nil
+	}
+	interval := g.meta.Intervals[iv]
+
+	if err := g.mergeSide(0, iv, interval); err != nil {
+		return err
+	}
+	if err := g.mergeSide(1, iv, interval); err != nil {
+		return err
+	}
+
+	d := g.deltas
+	for v := interval.Lo; v < interval.Hi; v++ {
+		delete(d.addOut, v)
+		delete(d.delOut, v)
+		delete(d.addIn, v)
+		delete(d.delIn, v)
+	}
+	d.perInterval[iv] = 0
+	d.merges++
+	return g.updateMetaSizes()
+}
+
+func (g *Graph) mergeSide(side uint8, iv int, interval Interval) error {
+	rowF, colF := g.outRow[iv], g.outCol[iv]
+	var valF *ssd.File
+	load := g.LoadOutEdgesFull
+	if side == 1 {
+		rowF, colF = g.inRow[iv], g.inCol[iv]
+		load = g.LoadInEdgesFull
+	}
+	if g.meta.HasWeights {
+		if side == 0 {
+			valF = g.outVal[iv]
+		} else {
+			valF = g.inVal[iv]
+		}
+	}
+
+	// Materialize the merged adjacency (delta overlay happens inside the
+	// loader), then rewrite the files.
+	verts := make([]uint32, 0, interval.Len())
+	for v := interval.Lo; v < interval.Hi; v++ {
+		verts = append(verts, v)
+	}
+	merged := make([][]wpair, interval.Len())
+	if _, err := load(iv, verts, func(v uint32, nbrs, weights []uint32, _, _ int32) {
+		pairs := make([]wpair, len(nbrs))
+		for i, nb := range nbrs {
+			pairs[i] = wpair{id: nb}
+			if weights != nil {
+				pairs[i].w = weights[i]
+			}
+		}
+		sortPairs(pairs)
+		merged[v-interval.Lo] = pairs
+	}); err != nil {
+		return err
+	}
+
+	if err := rowF.Truncate(); err != nil {
+		return err
+	}
+	if err := colF.Truncate(); err != nil {
+		return err
+	}
+	rw := ssd.NewWriter(rowF)
+	cw := ssd.NewWriter(colF)
+	var vw *ssd.Writer
+	if valF != nil {
+		if err := valF.Truncate(); err != nil {
+			return err
+		}
+		vw = ssd.NewWriter(valF)
+	}
+	var off uint64
+	for _, pairs := range merged {
+		if err := rw.WriteU64(off); err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			if err := cw.WriteU32(p.id); err != nil {
+				return err
+			}
+			if vw != nil {
+				if err := vw.WriteU32(p.w); err != nil {
+					return err
+				}
+			}
+		}
+		off += uint64(len(pairs))
+	}
+	if err := rw.WriteU64(off); err != nil {
+		return err
+	}
+	if err := rw.Close(); err != nil {
+		return err
+	}
+	if vw != nil {
+		if err := vw.Close(); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+func sortPairs(pairs []wpair) {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+}
+
+func (g *Graph) updateMetaSizes() error {
+	for i := range g.meta.Intervals {
+		g.meta.OutRowPtrSize[i] = g.outRow[i].Size()
+		g.meta.OutColIdxSize[i] = g.outCol[i].Size()
+		g.meta.InRowPtrSize[i] = g.inRow[i].Size()
+		g.meta.InColIdxSize[i] = g.inCol[i].Size()
+		if g.meta.HasWeights {
+			g.meta.OutValSize[i] = g.outVal[i].Size()
+			g.meta.InValSize[i] = g.inVal[i].Size()
+		}
+	}
+	// Recount edges.
+	var edges uint64
+	for i := range g.meta.Intervals {
+		edges += uint64(g.meta.OutColIdxSize[i] / 4)
+	}
+	g.meta.NumEdges = edges
+	return writeMeta(g.dev, g.meta.Name, g.meta)
+}
+
+// CurrentEdges returns the full current edge list (CSR plus pending
+// deltas), sorted. Intended for tests and tools.
+func (g *Graph) CurrentEdges() ([]graphio.Edge, error) {
+	var edges []graphio.Edge
+	for iv := range g.meta.Intervals {
+		if err := g.ReadWholeInterval(iv, func(v uint32, nbrs []uint32) {
+			for _, nb := range nbrs {
+				edges = append(edges, graphio.Edge{Src: v, Dst: nb})
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	graphio.SortEdges(edges)
+	return edges, nil
+}

@@ -1,0 +1,374 @@
+package csr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"multilogvc/internal/ssd"
+)
+
+// Graph is an opened interval-partitioned CSR graph. It serves adjacency
+// for sets of active vertices, reading only covering pages (the paper's
+// graph loader unit), and reports per-page utilization.
+type Graph struct {
+	dev  *ssd.Device
+	meta *Meta
+	idx  *IntervalIndex
+
+	outRow, outCol []*ssd.File
+	inRow, inCol   []*ssd.File
+	outVal, inVal  []*ssd.File // nil entries when the graph is unweighted
+
+	deltas *DeltaSet // structural updates; nil until first mutation
+}
+
+// Open opens a graph previously written with Build.
+func Open(dev *ssd.Device, name string) (*Graph, error) {
+	meta, err := readMeta(dev, name)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		dev:  dev,
+		meta: meta,
+		idx:  NewIntervalIndex(meta.Intervals, meta.NumVertices),
+	}
+	for i := range meta.Intervals {
+		rf, err := dev.OpenFile(outRowPtrName(name, i))
+		if err != nil {
+			return nil, err
+		}
+		rf.SetSize(meta.OutRowPtrSize[i])
+		cf, err := dev.OpenFile(outColIdxName(name, i))
+		if err != nil {
+			return nil, err
+		}
+		cf.SetSize(meta.OutColIdxSize[i])
+		irf, err := dev.OpenFile(inRowPtrName(name, i))
+		if err != nil {
+			return nil, err
+		}
+		irf.SetSize(meta.InRowPtrSize[i])
+		icf, err := dev.OpenFile(inColIdxName(name, i))
+		if err != nil {
+			return nil, err
+		}
+		icf.SetSize(meta.InColIdxSize[i])
+		g.outRow = append(g.outRow, rf)
+		g.outCol = append(g.outCol, cf)
+		g.inRow = append(g.inRow, irf)
+		g.inCol = append(g.inCol, icf)
+		if meta.HasWeights {
+			ovf, err := dev.OpenFile(outValName(name, i))
+			if err != nil {
+				return nil, err
+			}
+			ovf.SetSize(meta.OutValSize[i])
+			ivf, err := dev.OpenFile(inValName(name, i))
+			if err != nil {
+				return nil, err
+			}
+			ivf.SetSize(meta.InValSize[i])
+			g.outVal = append(g.outVal, ovf)
+			g.inVal = append(g.inVal, ivf)
+		}
+	}
+	return g, nil
+}
+
+// HasWeights reports whether the graph stores per-edge weights.
+func (g *Graph) HasWeights() bool { return g.meta.HasWeights }
+
+// Name returns the graph's device name.
+func (g *Graph) Name() string { return g.meta.Name }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() uint32 { return g.meta.NumVertices }
+
+// NumEdges returns the directed edge count at build time.
+func (g *Graph) NumEdges() uint64 { return g.meta.NumEdges }
+
+// MaxOutDegree returns the largest out-degree at build time.
+func (g *Graph) MaxOutDegree() uint32 { return g.meta.MaxOutDegree }
+
+// Intervals returns the vertex intervals. Callers must not mutate.
+func (g *Graph) Intervals() []Interval { return g.meta.Intervals }
+
+// IntervalOf returns the index of the interval containing v.
+func (g *Graph) IntervalOf(v uint32) int { return g.idx.Of(v) }
+
+// Device returns the underlying device.
+func (g *Graph) Device() *ssd.Device { return g.dev }
+
+// PageKey identifies a column-index page for utilization tracking across
+// supersteps. Side 0 = out-CSR, 1 = in-CSR.
+type PageKey struct {
+	Side     uint8
+	Interval int32
+	Page     int32
+}
+
+// PageUtil reports how many bytes of a fetched column-index page were
+// needed by the request that fetched it.
+type PageUtil struct {
+	Key       PageKey
+	UsedBytes int32
+}
+
+// LoadStats accounts one adjacency load.
+type LoadStats struct {
+	RowPtrPages int
+	ColIdxPages int
+	ValPages    int // weight (val vector) pages, weighted graphs only
+	PageUtils   []PageUtil
+}
+
+// Add accumulates other into s.
+func (s *LoadStats) Add(other LoadStats) {
+	s.RowPtrPages += other.RowPtrPages
+	s.ColIdxPages += other.ColIdxPages
+	s.ValPages += other.ValPages
+	s.PageUtils = append(s.PageUtils, other.PageUtils...)
+}
+
+// EdgeVisitor receives one vertex's neighbor list. nbrs aliases an
+// internal buffer valid only during the call.
+type EdgeVisitor func(v uint32, nbrs []uint32)
+
+// EdgeVisitorEx additionally receives the column-index page range
+// [firstPage, lastPage] the vertex's edges live on, so callers (the
+// edge-log optimizer) can relate vertices to page utilization. For
+// zero-degree vertices firstPage > lastPage.
+type EdgeVisitorEx func(v uint32, nbrs []uint32, firstPage, lastPage int32)
+
+// EdgeVisitorFull additionally receives the vertex's per-edge weights
+// (nil for unweighted graphs), parallel to nbrs.
+type EdgeVisitorFull func(v uint32, nbrs, weights []uint32, firstPage, lastPage int32)
+
+// LoadOutEdges loads the out-edge lists of the given vertices, which must
+// all lie in interval iv and be sorted ascending. Only the row-pointer and
+// column-index pages covering the requested vertices are read, in batches.
+func (g *Graph) LoadOutEdges(iv int, verts []uint32, visit EdgeVisitor) (LoadStats, error) {
+	return g.loadEdges(0, g.outRow[iv], g.outCol[iv], nil, iv, verts,
+		func(v uint32, nbrs, _ []uint32, _, _ int32) { visit(v, nbrs) })
+}
+
+// LoadOutEdgesEx is LoadOutEdges with page-range information.
+func (g *Graph) LoadOutEdgesEx(iv int, verts []uint32, visit EdgeVisitorEx) (LoadStats, error) {
+	return g.loadEdges(0, g.outRow[iv], g.outCol[iv], nil, iv, verts,
+		func(v uint32, nbrs, _ []uint32, first, last int32) { visit(v, nbrs, first, last) })
+}
+
+// LoadOutEdgesFull is LoadOutEdgesEx plus per-edge weights for weighted
+// graphs; the val pages are fetched alongside the colidx pages and
+// counted in the stats.
+func (g *Graph) LoadOutEdgesFull(iv int, verts []uint32, visit EdgeVisitorFull) (LoadStats, error) {
+	var valF *ssd.File
+	if g.meta.HasWeights {
+		valF = g.outVal[iv]
+	}
+	return g.loadEdges(0, g.outRow[iv], g.outCol[iv], valF, iv, verts, visit)
+}
+
+// LoadInEdges is LoadOutEdges for the in-edge (source) lists.
+func (g *Graph) LoadInEdges(iv int, verts []uint32, visit EdgeVisitor) (LoadStats, error) {
+	return g.loadEdges(1, g.inRow[iv], g.inCol[iv], nil, iv, verts,
+		func(v uint32, nbrs, _ []uint32, _, _ int32) { visit(v, nbrs) })
+}
+
+// LoadInEdgesFull is LoadInEdges plus in-edge weights.
+func (g *Graph) LoadInEdgesFull(iv int, verts []uint32, visit EdgeVisitorFull) (LoadStats, error) {
+	var valF *ssd.File
+	if g.meta.HasWeights {
+		valF = g.inVal[iv]
+	}
+	return g.loadEdges(1, g.inRow[iv], g.inCol[iv], valF, iv, verts, visit)
+}
+
+func (g *Graph) loadEdges(side uint8, rowF, colF, valF *ssd.File, iv int, verts []uint32, visit EdgeVisitorFull) (LoadStats, error) {
+	var stats LoadStats
+	if len(verts) == 0 {
+		return stats, nil
+	}
+	interval := g.meta.Intervals[iv]
+	for _, v := range verts {
+		if !interval.Contains(v) {
+			return stats, fmt.Errorf("csr: vertex %d outside interval %d %v", v, iv, interval)
+		}
+	}
+
+	rows, rowPages, err := g.readRowEntries(rowF, interval, verts)
+	if err != nil {
+		return stats, err
+	}
+	stats.RowPtrPages = rowPages
+
+	// Gather the set of colidx pages covering all requested edge ranges,
+	// tracking used bytes per page.
+	ps := g.dev.PageSize()
+	used := make(map[int]int32) // page -> used bytes
+	for i := range verts {
+		start, end := rows[2*i], rows[2*i+1]
+		if start == end {
+			continue
+		}
+		bLo := int64(start) * 4
+		bHi := int64(end) * 4
+		for p := bLo / int64(ps); p <= (bHi-1)/int64(ps); p++ {
+			pLo := p * int64(ps)
+			pHi := pLo + int64(ps)
+			lo, hi := bLo, bHi
+			if lo < pLo {
+				lo = pLo
+			}
+			if hi > pHi {
+				hi = pHi
+			}
+			used[int(p)] += int32(hi - lo)
+		}
+	}
+	pages := make([]int, 0, len(used))
+	for p := range used {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	pageBuf := make([]byte, len(pages)*ps)
+	if err := colF.ReadPages(pages, pageBuf); err != nil {
+		return stats, err
+	}
+	stats.ColIdxPages = len(pages)
+	pageAt := make(map[int][]byte, len(pages))
+	for i, p := range pages {
+		pageAt[p] = pageBuf[i*ps : (i+1)*ps]
+		stats.PageUtils = append(stats.PageUtils, PageUtil{
+			Key:       PageKey{Side: side, Interval: int32(iv), Page: int32(p)},
+			UsedBytes: used[p],
+		})
+	}
+
+	// Weighted graphs: the val file mirrors the colidx layout, so the
+	// same page set serves the weights.
+	var valAt map[int][]byte
+	if valF != nil {
+		valBuf := make([]byte, len(pages)*ps)
+		// val files can be shorter than colidx files only by padding;
+		// clamp the request to allocated pages.
+		valPages := make([]int, 0, len(pages))
+		for _, p := range pages {
+			if p < valF.NumPages() {
+				valPages = append(valPages, p)
+			}
+		}
+		if err := valF.ReadPages(valPages, valBuf[:len(valPages)*ps]); err != nil {
+			return stats, err
+		}
+		stats.ValPages = len(valPages)
+		valAt = make(map[int][]byte, len(valPages))
+		for i, p := range valPages {
+			valAt[p] = valBuf[i*ps : (i+1)*ps]
+		}
+	}
+
+	// Reassemble each vertex's neighbor list from the fetched pages and
+	// overlay structural deltas if present.
+	var nbrBuf, wBuf []uint32
+	for i, v := range verts {
+		start, end := rows[2*i], rows[2*i+1]
+		deg := int(end - start)
+		if cap(nbrBuf) < deg {
+			nbrBuf = make([]uint32, deg)
+			wBuf = make([]uint32, deg)
+		}
+		nbrs := nbrBuf[:deg]
+		var weights []uint32
+		if valAt != nil {
+			weights = wBuf[:deg]
+		}
+		for j := 0; j < deg; j++ {
+			off := (int64(start) + int64(j)) * 4
+			page := pageAt[int(off/int64(ps))]
+			nbrs[j] = binary.LittleEndian.Uint32(page[off%int64(ps):])
+			if weights != nil {
+				if vp := valAt[int(off/int64(ps))]; vp != nil {
+					weights[j] = binary.LittleEndian.Uint32(vp[off%int64(ps):])
+				}
+			}
+		}
+		if g.deltas != nil {
+			nbrs, weights = g.deltas.apply(side, v, nbrs, weights)
+		}
+		firstPage := int32(int64(start) * 4 / int64(ps))
+		lastPage := int32((int64(end)*4 - 1) / int64(ps))
+		if deg == 0 {
+			firstPage, lastPage = 1, 0
+		}
+		visit(v, nbrs, weights, firstPage, lastPage)
+	}
+	return stats, nil
+}
+
+// readRowEntries returns, for each requested vertex, its (start, end) edge
+// offsets, reading only the covering row-pointer pages. The result is laid
+// out as [start0, end0, start1, end1, ...].
+func (g *Graph) readRowEntries(rowF *ssd.File, interval Interval, verts []uint32) ([]uint64, int, error) {
+	ps := g.dev.PageSize()
+	pageSet := make(map[int]bool)
+	for _, v := range verts {
+		j := int64(v - interval.Lo)
+		// Entries j and j+1, 8 bytes each.
+		bLo := j * 8
+		bHi := bLo + 16
+		for p := bLo / int64(ps); p <= (bHi-1)/int64(ps); p++ {
+			pageSet[int(p)] = true
+		}
+	}
+	pages := make([]int, 0, len(pageSet))
+	for p := range pageSet {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	buf := make([]byte, len(pages)*ps)
+	if err := rowF.ReadPages(pages, buf); err != nil {
+		return nil, 0, err
+	}
+	pageAt := make(map[int][]byte, len(pages))
+	for i, p := range pages {
+		pageAt[p] = buf[i*ps : (i+1)*ps]
+	}
+	entry := func(j int64) uint64 {
+		off := j * 8
+		page := pageAt[int(off/int64(ps))]
+		return binary.LittleEndian.Uint64(page[off%int64(ps):])
+	}
+	out := make([]uint64, 2*len(verts))
+	for i, v := range verts {
+		j := int64(v - interval.Lo)
+		out[2*i] = entry(j)
+		out[2*i+1] = entry(j + 1)
+	}
+	return out, len(pages), nil
+}
+
+// ReadWholeInterval reads every out-edge list of an interval sequentially
+// (used by builders of derived structures and by tests).
+func (g *Graph) ReadWholeInterval(iv int, visit EdgeVisitor) error {
+	interval := g.meta.Intervals[iv]
+	verts := make([]uint32, 0, interval.Len())
+	for v := interval.Lo; v < interval.Hi; v++ {
+		verts = append(verts, v)
+	}
+	_, err := g.LoadOutEdges(iv, verts, visit)
+	return err
+}
+
+// OutDegreeSlow returns v's current out-degree including deltas. Intended
+// for tests and tools, not hot paths.
+func (g *Graph) OutDegreeSlow(v uint32) (uint32, error) {
+	iv := g.IntervalOf(v)
+	var deg uint32
+	_, err := g.LoadOutEdges(iv, []uint32{v}, func(_ uint32, nbrs []uint32) {
+		deg = uint32(len(nbrs))
+	})
+	return deg, err
+}

@@ -1,0 +1,111 @@
+// Package csr stores graphs on a simulated SSD in compressed sparse row
+// form, partitioned by vertex interval as described in §V of the
+// MultiLogVC paper.
+//
+// A graph named G with k intervals occupies these device files:
+//
+//	G.meta           JSON metadata (sizes, intervals, degrees summary)
+//	G.out.rowptr.<i> uint64 row pointers for interval i's out-edges
+//	G.out.colidx.<i> uint32 destination ids for interval i's out-edges
+//	G.in.rowptr.<i>  uint64 row pointers for interval i's in-edges
+//	G.in.colidx.<i>  uint32 source ids for interval i's in-edges
+//
+// Row pointers are local to the interval: interval i with vertices
+// [Lo, Hi) stores Hi-Lo+1 offsets into its own colidx file.
+//
+// The loader (Graph) serves adjacency for a *set of active vertices* by
+// reading only the covering row-pointer and column-index pages, batched —
+// the key capability that distinguishes CSR storage from shard storage in
+// the paper. It also reports per-page utilization so the engine can track
+// read amplification (Fig 3) and feed the edge-log optimizer (Fig 9).
+package csr
+
+import "fmt"
+
+// Interval is a contiguous vertex range [Lo, Hi).
+type Interval struct {
+	Lo, Hi uint32
+}
+
+// Len returns the number of vertices in the interval.
+func (iv Interval) Len() uint32 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v uint32) bool { return v >= iv.Lo && v < iv.Hi }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// MsgBytes is the size of one logged update record <dst, src, data>,
+// 12 bytes as in §V-A of the paper.
+const MsgBytes = 12
+
+// Partition splits n vertices into contiguous intervals such that the
+// worst-case incoming update volume of each interval — one message per
+// in-edge, msgBytes each (§V-A1's conservative assumption) — fits in
+// budgetBytes. Every interval holds at least one vertex even if a single
+// vertex's in-degree exceeds the budget (it must be processed somehow).
+func Partition(inDeg []uint32, msgBytes int, budgetBytes int64) []Interval {
+	if budgetBytes <= 0 {
+		budgetBytes = 1
+	}
+	n := uint32(len(inDeg))
+	if n == 0 {
+		return nil
+	}
+	var ivs []Interval
+	lo := uint32(0)
+	var acc int64
+	for v := uint32(0); v < n; v++ {
+		cost := int64(inDeg[v]) * int64(msgBytes)
+		if v > lo && acc+cost > budgetBytes {
+			ivs = append(ivs, Interval{Lo: lo, Hi: v})
+			lo = v
+			acc = 0
+		}
+		acc += cost
+	}
+	ivs = append(ivs, Interval{Lo: lo, Hi: n})
+	return ivs
+}
+
+// IntervalIndex maps vertices to their interval in O(1) using a lookup
+// table at page granularity — the paper's vId2IntervalMap.
+type IntervalIndex struct {
+	ivs []Interval
+	// firstIv[v>>shift] is the index of the interval containing the first
+	// vertex of that block; scan forward from there (blocks are 256
+	// vertices, and intervals are typically much larger).
+	firstIv []int32
+}
+
+const ivBlockShift = 8
+
+// NewIntervalIndex builds the lookup structure. Intervals must be sorted,
+// non-overlapping, and cover [0, n).
+func NewIntervalIndex(ivs []Interval, n uint32) *IntervalIndex {
+	idx := &IntervalIndex{ivs: ivs}
+	blocks := int(n>>ivBlockShift) + 1
+	idx.firstIv = make([]int32, blocks)
+	cur := 0
+	for b := 0; b < blocks; b++ {
+		v := uint32(b) << ivBlockShift
+		for cur < len(ivs)-1 && v >= ivs[cur].Hi {
+			cur++
+		}
+		idx.firstIv[b] = int32(cur)
+	}
+	return idx
+}
+
+// Of returns the index of the interval containing v.
+func (x *IntervalIndex) Of(v uint32) int {
+	i := int(x.firstIv[v>>ivBlockShift])
+	for i < len(x.ivs)-1 && v >= x.ivs[i].Hi {
+		i++
+	}
+	return i
+}
+
+// Intervals returns the underlying interval slice. Callers must not
+// mutate it.
+func (x *IntervalIndex) Intervals() []Interval { return x.ivs }

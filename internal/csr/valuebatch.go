@@ -1,0 +1,111 @@
+package csr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"multilogvc/internal/ssd"
+)
+
+// ValueBatch holds the values of a sparse set of vertices, loaded by
+// reading only the covering pages of the value file. Sets write into the
+// loaded page images; Flush writes the touched pages back. Distinct
+// vertices may be Set concurrently.
+type ValueBatch struct {
+	vv    *Values
+	pages map[int][]byte
+	order []int
+}
+
+// LoadForVerts reads the value-file pages covering the given vertices
+// (sorted ascending) as one batch. Returns the batch and the number of
+// pages read.
+func (vv *Values) LoadForVerts(verts []uint32) (*ValueBatch, int, error) {
+	b := &ValueBatch{vv: vv, pages: make(map[int][]byte)}
+	if len(verts) == 0 {
+		return b, 0, nil
+	}
+	ps := vv.dev.PageSize()
+	pageSet := make(map[int]bool)
+	for _, v := range verts {
+		if v >= vv.n {
+			return nil, 0, fmt.Errorf("csr: value vertex %d out of [0,%d)", v, vv.n)
+		}
+		pageSet[int(int64(v)*4/int64(ps))] = true
+	}
+	pages := make([]int, 0, len(pageSet))
+	for p := range pageSet {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	buf := make([]byte, len(pages)*ps)
+	if err := vv.f.ReadPages(pages, buf); err != nil {
+		return nil, 0, err
+	}
+	for i, p := range pages {
+		b.pages[p] = buf[i*ps : (i+1)*ps]
+	}
+	b.order = pages
+	return b, len(pages), nil
+}
+
+// Get returns v's value. v must be covered by the batch.
+func (b *ValueBatch) Get(v uint32) uint32 {
+	ps := b.vv.dev.PageSize()
+	off := int64(v) * 4
+	return binary.LittleEndian.Uint32(b.pages[int(off/int64(ps))][off%int64(ps):])
+}
+
+// Set updates v's value in the batch. v must be covered by the batch.
+// Distinct vertices may be Set concurrently.
+func (b *ValueBatch) Set(v uint32, val uint32) {
+	ps := b.vv.dev.PageSize()
+	off := int64(v) * 4
+	binary.LittleEndian.PutUint32(b.pages[int(off/int64(ps))][off%int64(ps):], val)
+}
+
+// Flush writes the batch's pages back to the device in contiguous runs and
+// returns the number of pages written.
+func (b *ValueBatch) Flush() (int, error) {
+	ps := b.vv.dev.PageSize()
+	written := 0
+	for i := 0; i < len(b.order); {
+		j := i
+		for j+1 < len(b.order) && b.order[j+1] == b.order[j]+1 {
+			j++
+		}
+		run := make([]byte, (j-i+1)*ps)
+		for k := i; k <= j; k++ {
+			copy(run[(k-i)*ps:], b.pages[b.order[k]])
+		}
+		if err := b.vv.f.WritePageRange(b.order[i], run); err != nil {
+			return written, err
+		}
+		written += j - i + 1
+		i = j + 1
+	}
+	return written, nil
+}
+
+// CreateValuesFunc creates a value array of n entries where entry v is
+// init(v). Used by engines to materialize per-vertex initial values.
+func CreateValuesFunc(dev *ssd.Device, name string, n uint32, init func(v uint32) uint32) (*Values, error) {
+	f, err := dev.OpenOrCreate(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(); err != nil {
+		return nil, err
+	}
+	w := ssd.NewWriter(f)
+	for v := uint32(0); v < n; v++ {
+		if err := w.WriteU32(init(v)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Values{dev: dev, f: f, n: n}, nil
+}

@@ -1,0 +1,113 @@
+package csr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"multilogvc/internal/ssd"
+)
+
+// Values is an on-device array of one uint32 per vertex (vertex values in
+// the vertex-centric model). Engines load and store contiguous ranges —
+// the vertices of the interval being processed — with page-batched IO.
+type Values struct {
+	dev *ssd.Device
+	f   *ssd.File
+	n   uint32
+}
+
+// CreateValues creates (or resets) a value array of n entries, all
+// initialized to init.
+func CreateValues(dev *ssd.Device, name string, n uint32, init uint32) (*Values, error) {
+	f, err := dev.OpenOrCreate(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(); err != nil {
+		return nil, err
+	}
+	w := ssd.NewWriter(f)
+	for i := uint32(0); i < n; i++ {
+		if err := w.WriteU32(init); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Values{dev: dev, f: f, n: n}, nil
+}
+
+// OpenValues opens an existing value array of n entries.
+func OpenValues(dev *ssd.Device, name string, n uint32) (*Values, error) {
+	f, err := dev.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Values{dev: dev, f: f, n: n}, nil
+}
+
+// Len returns the number of entries.
+func (vv *Values) Len() uint32 { return vv.n }
+
+// LoadRange reads values [lo, hi) as one page batch.
+func (vv *Values) LoadRange(lo, hi uint32) ([]uint32, error) {
+	if lo > hi || hi > vv.n {
+		return nil, fmt.Errorf("csr: value range [%d,%d) out of [0,%d)", lo, hi, vv.n)
+	}
+	if lo == hi {
+		return nil, nil
+	}
+	ps := vv.dev.PageSize()
+	bLo, bHi := int64(lo)*4, int64(hi)*4
+	pLo, pHi := int(bLo/int64(ps)), int((bHi-1)/int64(ps))
+	buf := make([]byte, (pHi-pLo+1)*ps)
+	if err := vv.f.ReadPageRange(pLo, pHi-pLo+1, buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, hi-lo)
+	base := bLo - int64(pLo)*int64(ps)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[base+int64(i)*4:])
+	}
+	return out, nil
+}
+
+// StoreRange writes vals back to positions [lo, lo+len(vals)) with a
+// read-modify-write of the boundary pages.
+func (vv *Values) StoreRange(lo uint32, vals []uint32) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	hi := lo + uint32(len(vals))
+	if hi > vv.n {
+		return fmt.Errorf("csr: value store [%d,%d) out of [0,%d)", lo, hi, vv.n)
+	}
+	ps := vv.dev.PageSize()
+	bLo, bHi := int64(lo)*4, int64(hi)*4
+	pLo, pHi := int(bLo/int64(ps)), int((bHi-1)/int64(ps))
+	nPages := pHi - pLo + 1
+	buf := make([]byte, nPages*ps)
+	// RMW: fetch boundary pages when the range does not cover them fully.
+	if bLo%int64(ps) != 0 {
+		if err := vv.f.ReadPage(pLo, buf[:ps]); err != nil {
+			return err
+		}
+	}
+	if bHi%int64(ps) != 0 && (nPages > 1 || bLo%int64(ps) == 0) {
+		if err := vv.f.ReadPage(pHi, buf[(nPages-1)*ps:]); err != nil {
+			return err
+		}
+	}
+	base := bLo - int64(pLo)*int64(ps)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[base+int64(i)*4:], v)
+	}
+	return vv.f.WritePageRange(pLo, buf)
+}
+
+// LoadAll reads the whole array. Intended for result extraction after a
+// run, not for per-superstep use.
+func (vv *Values) LoadAll() ([]uint32, error) {
+	return vv.LoadRange(0, vv.n)
+}

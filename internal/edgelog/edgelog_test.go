@@ -1,0 +1,227 @@
+package edgelog
+
+import (
+	"testing"
+
+	"multilogvc/internal/csr"
+	"multilogvc/internal/ssd"
+)
+
+func TestPredictorActiveHistory(t *testing.T) {
+	p := NewPredictor(10, 1024, 0.1)
+	p.NoteActive(3)
+	if !p.PredictActive(3) {
+		t.Fatal("currently active vertex should be predicted active")
+	}
+	if p.PredictActive(4) {
+		t.Fatal("inactive vertex predicted active")
+	}
+	p.EndSuperstep()
+	// 3 was active last superstep: still predicted (N=1 history).
+	if !p.PredictActive(3) {
+		t.Fatal("history prediction failed")
+	}
+	p.EndSuperstep()
+	// Two supersteps later the history has aged out.
+	if p.PredictActive(3) {
+		t.Fatal("history should only look back one superstep")
+	}
+}
+
+func TestPredictorPageInefficiency(t *testing.T) {
+	p := NewPredictor(10, 1000, 0.1)
+	keyA := csr.PageKey{Side: 0, Interval: 0, Page: 1}
+	keyB := csr.PageKey{Side: 0, Interval: 0, Page: 2}
+	p.NotePageUtils([]csr.PageUtil{
+		{Key: keyA, UsedBytes: 50},  // 5% — inefficient
+		{Key: keyB, UsedBytes: 500}, // 50% — fine
+	})
+	if !p.PageIneffNow(keyA) || p.PageIneffNow(keyB) {
+		t.Fatal("current inefficiency misclassified")
+	}
+	st := p.EndSuperstep()
+	if st.InefficientPages != 1 || st.PagesTouched != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// keyA is now the prediction for the next superstep.
+	if !p.PageIneff(keyA) || p.PageIneff(keyB) {
+		t.Fatal("prediction set wrong")
+	}
+	// Touch keyA inefficiently again: correct prediction.
+	p.NotePageUtils([]csr.PageUtil{{Key: keyA, UsedBytes: 10}})
+	st = p.EndSuperstep()
+	if st.Correct != 1 || st.PredictedIneff != 1 {
+		t.Fatalf("accuracy stats = %+v", st)
+	}
+}
+
+func TestPredictorZeroUtilizationNotInefficient(t *testing.T) {
+	// The paper counts pages with >0% and <10% utilization.
+	p := NewPredictor(10, 1000, 0.1)
+	key := csr.PageKey{Side: 0, Interval: 0, Page: 5}
+	p.NotePageUtils([]csr.PageUtil{{Key: key, UsedBytes: 0}})
+	if p.PageIneffNow(key) {
+		t.Fatal("0%% utilization should not count as inefficient")
+	}
+}
+
+func TestPredictorDuplicateTouchesCountOnce(t *testing.T) {
+	p := NewPredictor(10, 1000, 0.1)
+	key := csr.PageKey{Side: 0, Interval: 0, Page: 5}
+	p.NotePageUtils([]csr.PageUtil{{Key: key, UsedBytes: 10}})
+	p.NotePageUtils([]csr.PageUtil{{Key: key, UsedBytes: 10}})
+	st := p.EndSuperstep()
+	if st.PagesTouched != 1 || st.InefficientPages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEdgeLogRoundTrip(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2})
+	e, err := New(dev, "elog", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log into the next generation; invisible until the swap.
+	if err := e.LogEdges(5, []uint32{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LogEdges(9, []uint32{4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Has(5) {
+		t.Fatal("next-generation entry visible before swap")
+	}
+	if err := e.EndSuperstep(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Has(5) || !e.Has(9) || e.Has(7) {
+		t.Fatal("generation swap index wrong")
+	}
+
+	got := make(map[uint32][]uint32)
+	pages, err := e.Load([]uint32{5, 9}, func(v uint32, nbrs, _ []uint32) {
+		cp := make([]uint32, len(nbrs))
+		copy(cp, nbrs)
+		got[v] = cp
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages == 0 {
+		t.Fatal("no pages read")
+	}
+	if len(got[5]) != 3 || got[5][0] != 1 || got[5][2] != 3 {
+		t.Fatalf("edges of 5 = %v", got[5])
+	}
+	if len(got[9]) != 1 || got[9][0] != 4 {
+		t.Fatalf("edges of 9 = %v", got[9])
+	}
+}
+
+func TestEdgeLogGenerationExpiry(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2})
+	e, _ := New(dev, "elog", false)
+	e.LogEdges(5, []uint32{1}, nil)
+	e.EndSuperstep()
+	if !e.Has(5) {
+		t.Fatal("entry missing after first swap")
+	}
+	e.EndSuperstep()
+	if e.Has(5) {
+		t.Fatal("entry survived two swaps")
+	}
+}
+
+func TestEdgeLogDuplicateIgnored(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2})
+	e, _ := New(dev, "elog", false)
+	e.LogEdges(5, []uint32{1, 2}, nil)
+	before := e.LoggedBytes()
+	e.LogEdges(5, []uint32{9, 9, 9}, nil)
+	if e.LoggedBytes() != before {
+		t.Fatal("duplicate LogEdges extended the log")
+	}
+	e.EndSuperstep()
+	var got []uint32
+	e.Load([]uint32{5}, func(v uint32, nbrs, _ []uint32) {
+		got = append(got, nbrs...)
+	})
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("edges = %v, want first logging to win", got)
+	}
+}
+
+func TestEdgeLogLoadUnknownVertex(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2})
+	e, _ := New(dev, "elog", false)
+	e.EndSuperstep()
+	if _, err := e.Load([]uint32{1}, func(uint32, []uint32, []uint32) {}); err == nil {
+		t.Fatal("loading unlogged vertex should fail")
+	}
+}
+
+func TestEdgeLogZeroDegree(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2})
+	e, _ := New(dev, "elog", false)
+	e.LogEdges(3, nil, nil)
+	e.EndSuperstep()
+	called := false
+	if _, err := e.Load([]uint32{3}, func(v uint32, nbrs, _ []uint32) {
+		called = len(nbrs) == 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("zero-degree vertex not served")
+	}
+}
+
+func TestEdgeLogSpansPages(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2}) // 16 edges per page
+	e, _ := New(dev, "elog", false)
+	big := make([]uint32, 100)
+	for i := range big {
+		big[i] = uint32(i * 3)
+	}
+	e.LogEdges(1, big, nil)
+	e.EndSuperstep()
+	var got []uint32
+	pages, err := e.Load([]uint32{1}, func(v uint32, nbrs, _ []uint32) {
+		got = append(got, nbrs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages < 7 {
+		t.Fatalf("expected multi-page read, got %d pages", pages)
+	}
+	for i, nb := range got {
+		if nb != uint32(i*3) {
+			t.Fatalf("edge %d = %d", i, nb)
+		}
+	}
+}
+
+func TestEdgeLogWeighted(t *testing.T) {
+	dev := ssd.MustOpen(ssd.Config{PageSize: 64, Channels: 2})
+	e, _ := New(dev, "elog", true)
+	nbrs := []uint32{10, 20, 30}
+	ws := []uint32{7, 8, 9}
+	if err := e.LogEdges(1, nbrs, ws); err != nil {
+		t.Fatal(err)
+	}
+	e.EndSuperstep()
+	var gotN, gotW []uint32
+	if _, err := e.Load([]uint32{1}, func(v uint32, n, w []uint32) {
+		gotN = append(gotN, n...)
+		gotW = append(gotW, w...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nbrs {
+		if gotN[i] != nbrs[i] || gotW[i] != ws[i] {
+			t.Fatalf("weighted round trip: %v %v", gotN, gotW)
+		}
+	}
+}

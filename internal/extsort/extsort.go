@@ -1,0 +1,239 @@
+// Package extsort externally sorts 12-byte <dst, src, data> update records
+// within a memory budget: it cuts the input into sorted runs on the
+// device, then streams a k-way merge. An optional combine function merges
+// records with equal destinations during both phases — GraFBoost's central
+// trick for shortening its single log (the paper's [11]).
+//
+// The IO this package performs (run writes + run reads) is exactly the
+// sorting overhead the paper's Fig 8 attributes GraFBoost's slowdown to
+// when logs outgrow memory.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"multilogvc/internal/ssd"
+)
+
+// RecordBytes is the on-device record size.
+const RecordBytes = 12
+
+// Record is one update record.
+type Record struct {
+	Dst, Src, Data uint32
+}
+
+// Stats reports what the sort did.
+type Stats struct {
+	Input    uint64 // records in
+	Output   uint64 // records out (smaller when combining)
+	Runs     int    // sorted runs spilled to the device (0 = in-memory)
+	Combined uint64 // records eliminated by combining
+}
+
+// Emit receives sorted output records.
+type Emit func(r Record) error
+
+// Source streams input records.
+type Source func(yield func(r Record) error) error
+
+// Sort sorts the records produced by src by destination within memBudget
+// bytes of record memory, spilling runs to device files "<prefix>.run.N".
+// When combine is non-nil, records with equal destinations are merged.
+// Run files are deleted afterwards.
+func Sort(dev *ssd.Device, prefix string, src Source, memBudget int64, combine func(a, b uint32) uint32, emit Emit) (Stats, error) {
+	var st Stats
+	capRecs := int(memBudget / RecordBytes)
+	if capRecs < 2 {
+		capRecs = 2
+	}
+
+	var runFiles []*ssd.File
+	var runCounts []uint64
+	buf := make([]Record, 0, capRecs)
+
+	flushRun := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sortRecs(buf)
+		if combine != nil {
+			buf = combineSorted(buf, combine, &st)
+		}
+		name := fmt.Sprintf("%s.run.%d", prefix, len(runFiles))
+		f, err := dev.OpenOrCreate(name)
+		if err != nil {
+			return err
+		}
+		if err := f.Truncate(); err != nil {
+			return err
+		}
+		w := ssd.NewWriter(f)
+		for _, r := range buf {
+			if err := writeRec(w, r); err != nil {
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		runFiles = append(runFiles, f)
+		runCounts = append(runCounts, uint64(len(buf)))
+		buf = buf[:0]
+		return nil
+	}
+
+	err := src(func(r Record) error {
+		st.Input++
+		buf = append(buf, r)
+		if len(buf) >= capRecs {
+			return flushRun()
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+
+	if len(runFiles) == 0 {
+		// Everything fit in memory: no external phase.
+		sortRecs(buf)
+		if combine != nil {
+			buf = combineSorted(buf, combine, &st)
+		}
+		for _, r := range buf {
+			if err := emit(r); err != nil {
+				return st, err
+			}
+			st.Output++
+		}
+		return st, nil
+	}
+	if err := flushRun(); err != nil {
+		return st, err
+	}
+	st.Runs = len(runFiles)
+
+	defer func() {
+		for i := range runFiles {
+			dev.Remove(fmt.Sprintf("%s.run.%d", prefix, i))
+		}
+	}()
+
+	// K-way merge.
+	h := &runHeap{}
+	for i, f := range runFiles {
+		rr := &runReader{r: ssd.NewReader(f, 16), remaining: runCounts[i]}
+		if rr.advance() {
+			heap.Push(h, rr)
+		}
+	}
+	var pending Record
+	havePending := false
+	for h.Len() > 0 {
+		rr := (*h)[0]
+		cur := rr.cur
+		if rr.advance() {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+		if combine != nil && havePending && pending.Dst == cur.Dst {
+			pending.Data = combine(pending.Data, cur.Data)
+			st.Combined++
+			continue
+		}
+		if havePending {
+			if err := emit(pending); err != nil {
+				return st, err
+			}
+			st.Output++
+		}
+		pending = cur
+		havePending = true
+	}
+	if havePending {
+		if err := emit(pending); err != nil {
+			return st, err
+		}
+		st.Output++
+	}
+	return st, nil
+}
+
+func sortRecs(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Dst < recs[j].Dst })
+}
+
+// combineSorted merges equal-destination neighbors in a dst-sorted slice.
+func combineSorted(recs []Record, combine func(a, b uint32) uint32, st *Stats) []Record {
+	if len(recs) == 0 {
+		return recs
+	}
+	w := 0
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Dst == recs[w].Dst {
+			recs[w].Data = combine(recs[w].Data, recs[i].Data)
+			st.Combined++
+		} else {
+			w++
+			recs[w] = recs[i]
+		}
+	}
+	return recs[:w+1]
+}
+
+func writeRec(w *ssd.Writer, r Record) error {
+	if err := w.WriteU32(r.Dst); err != nil {
+		return err
+	}
+	if err := w.WriteU32(r.Src); err != nil {
+		return err
+	}
+	return w.WriteU32(r.Data)
+}
+
+// runReader streams one run during the merge.
+type runReader struct {
+	r         *ssd.Reader
+	remaining uint64
+	cur       Record
+}
+
+// advance loads the next record into cur; false at end of run.
+func (rr *runReader) advance() bool {
+	if rr.remaining == 0 {
+		return false
+	}
+	var rec [RecordBytes]byte
+	if err := rr.r.ReadFull(rec[:]); err != nil {
+		return false
+	}
+	rr.cur = Record{
+		Dst:  le32(rec[0:]),
+		Src:  le32(rec[4:]),
+		Data: le32(rec[8:]),
+	}
+	rr.remaining--
+	return true
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+type runHeap []*runReader
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].cur.Dst < h[j].cur.Dst }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,496 @@
+// Package graphchi is the GraphChi baseline engine (Kyrola et al., the
+// paper's comparison system), reimplemented over the same device model and
+// vertex-centric contract as MultiLogVC.
+//
+// It follows the parallel-sliding-windows design: to process vertex
+// interval k it loads shard k in full (all in-edges of the interval) plus
+// the sliding-window block of interval k inside every other shard (the
+// interval's out-edges), processes the interval's vertices, and writes
+// everything back. Messages travel as edge values. The decisive property
+// the paper measures is reproduced exactly: even when one vertex of an
+// interval is active, the whole shard is loaded — and with real active
+// sets, effectively every shard is loaded every superstep.
+//
+// Execution is synchronous (two value slots per edge, see internal/shard)
+// so results are bit-identical to the reference engine and MultiLogVC.
+package graphchi
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"multilogvc/internal/bitset"
+	"multilogvc/internal/csr"
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/metrics"
+	"multilogvc/internal/shard"
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/vc"
+)
+
+// Config tunes the baseline engine.
+type Config struct {
+	// MaxSupersteps defaults to 15.
+	MaxSupersteps int
+	// Workers is the vertex-processing parallelism; defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// StopAfter, when non-nil, ends the run after the superstep for which
+	// it returns true (same contract as the MultiLogVC engine).
+	StopAfter func(superstep int, cumProcessed uint64) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 15
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Engine is a GraphChi-style shard engine.
+type Engine struct {
+	dev      *ssd.Device
+	name     string
+	edges    []graphio.WeightedEdge
+	weighted bool
+	ivs      []csr.Interval
+	n        uint32
+	idx      *csr.IntervalIndex
+	cfg      Config
+}
+
+// New creates the engine. Intervals are shared with the CSR layout so both
+// engines process identical vertex groupings; shards are built per run
+// (edge values are program state).
+func New(dev *ssd.Device, name string, edges []graphio.Edge, ivs []csr.Interval, cfg Config) *Engine {
+	wedges := make([]graphio.WeightedEdge, len(edges))
+	for i, e := range edges {
+		wedges[i] = graphio.WeightedEdge{Src: e.Src, Dst: e.Dst}
+	}
+	n := ivs[len(ivs)-1].Hi
+	return &Engine{
+		dev: dev, name: name, edges: wedges, ivs: ivs, n: n,
+		idx: csr.NewIntervalIndex(ivs, n), cfg: cfg.withDefaults(),
+	}
+}
+
+// NewWeighted is New for weighted graphs: record weights flow to
+// Context.OutWeights.
+func NewWeighted(dev *ssd.Device, name string, edges []graphio.WeightedEdge, ivs []csr.Interval, cfg Config) *Engine {
+	kept := make([]graphio.WeightedEdge, len(edges))
+	copy(kept, edges)
+	n := ivs[len(ivs)-1].Hi
+	return &Engine{
+		dev: dev, name: name, edges: kept, weighted: true, ivs: ivs, n: n,
+		idx: csr.NewIntervalIndex(ivs, n), cfg: cfg.withDefaults(),
+	}
+}
+
+// Result carries the run report and final vertex values.
+type Result struct {
+	Report *metrics.Report
+	Values []uint32
+}
+
+// send is one buffered message emitted during vertex processing.
+type send struct {
+	src, dst, data uint32
+}
+
+// Run executes prog to convergence or the superstep cap.
+func (e *Engine) Run(prog vc.Program) (*Result, error) {
+	cfg := e.cfg
+	report := &metrics.Report{Engine: "graphchi", App: prog.Name(), Graph: e.name}
+	wallStart := time.Now()
+
+	auxUser, isAux := prog.(vc.AuxUser)
+	initVal := uint32(0)
+	if isAux {
+		initVal = auxUser.AuxInit(e.n)
+	}
+	// Shards are program state (edge values); build fresh per run. Setup
+	// IO is excluded from superstep accounting, mirroring how the paper
+	// reports per-run execution times on preformatted graphs.
+	store, err := shard.BuildWeighted(e.dev, e.name+".gc", e.edges, e.ivs, initVal)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Remove()
+
+	values, err := csr.CreateValuesFunc(e.dev, e.name+".gc.values", e.n, func(v uint32) uint32 {
+		return prog.InitValue(v, e.n)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	active := bitset.New(int(e.n))
+	is := prog.InitActive(e.n)
+	if is.All {
+		for v := uint32(0); v < e.n; v++ {
+			active.Set(int(v))
+		}
+	} else {
+		for _, v := range is.Verts {
+			active.Set(int(v))
+		}
+	}
+
+	var cumProcessed uint64
+	converged := false
+	for step := 0; step < cfg.MaxSupersteps; step++ {
+		if !active.Any() {
+			converged = true
+			break
+		}
+		stepStart := time.Now()
+		devBefore := e.dev.Stats()
+		ss := metrics.SuperstepStats{Superstep: step}
+
+		p := step % 2
+		nextActive := bitset.New(int(e.n))
+		halted := bitset.New(int(e.n))
+
+		for k := range e.ivs {
+			iv := e.ivs[k]
+			// GraphChi can skip a shard only when the whole interval is
+			// inactive; aux programs need every shard's copy-forward to
+			// keep edge state coherent, so they never skip.
+			if !isAux && !active.AnyInRange(int(iv.Lo), int(iv.Hi)) {
+				continue
+			}
+			if err := e.processInterval(&intervalRun{
+				prog: prog, store: store, values: values, k: k, p: p,
+				step: step, active: active, nextActive: nextActive,
+				halted: halted, isAux: isAux, ss: &ss,
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		// Next superstep's active set: message receivers plus processed
+		// vertices that did not halt. A message reactivates a vertex even
+		// if it voted to halt this superstep.
+		carried := active
+		carried.AndNot(halted)
+		nextActive.Or(carried)
+		active = nextActive
+
+		devDelta := e.dev.Stats().Sub(devBefore)
+		ss.PagesRead = devDelta.PagesRead
+		ss.PagesWritten = devDelta.PagesWritten
+		ss.StorageTime = devDelta.StorageTime()
+		ss.ComputeTime = time.Since(stepStart)
+		cumProcessed += ss.Active
+		report.Supersteps = append(report.Supersteps, ss)
+
+		if cfg.StopAfter != nil && cfg.StopAfter(step, cumProcessed) {
+			break
+		}
+	}
+	if !converged {
+		converged = !active.Any()
+	}
+	report.Converged = converged
+	report.WallTime = time.Since(wallStart)
+	report.Finish()
+
+	finalValues, err := values.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: report, Values: finalValues}, nil
+}
+
+// intervalRun bundles the state of one interval's processing.
+type intervalRun struct {
+	prog       vc.Program
+	store      *shard.Store
+	values     *csr.Values
+	k          int
+	p          int
+	step       int
+	active     *bitset.Set
+	nextActive *bitset.Set
+	halted     *bitset.Set
+	isAux      bool
+	ss         *metrics.SuperstepStats
+}
+
+func (e *Engine) processInterval(ir *intervalRun) error {
+	iv := e.ivs[ir.k]
+	p := ir.p
+
+	// Load shard k in full (the whole-shard cost the paper measures).
+	recs, err := ir.store.LoadShard(ir.k)
+	if err != nil {
+		return err
+	}
+	// Copy-forward: slots for the next superstep start from the current
+	// value unless a message already arrived there.
+	otherFlag := uint32(shard.FlagMsg0 << (1 - p))
+	curFlag := uint32(shard.FlagMsg0 << p)
+	for i := range recs {
+		if recs[i].Flags&otherFlag == 0 {
+			recs[i].Val[1-p] = recs[i].Val[p]
+		}
+	}
+
+	// Index in-edges by destination (preserving source-sorted order) and
+	// extract this superstep's messages.
+	inEdges := make(map[uint32][]int) // dst -> record indices
+	msgs := make(map[uint32][]vc.Msg)
+	for i := range recs {
+		r := &recs[i]
+		inEdges[r.Dst] = append(inEdges[r.Dst], i)
+		if r.Flags&curFlag != 0 {
+			msgs[r.Dst] = append(msgs[r.Dst], vc.Msg{Src: r.Src, Data: r.Val[p]})
+			r.Flags &^= curFlag // consumed
+		}
+	}
+
+	// Load the sliding windows holding this interval's out-edges. The
+	// self-window is served from the in-memory shard records.
+	windows := make([]*shard.Window, len(e.ivs))
+	for j := range e.ivs {
+		if j == ir.k {
+			continue
+		}
+		w, err := ir.store.LoadWindow(j, ir.k)
+		if err != nil {
+			return err
+		}
+		windows[j] = w
+	}
+
+	// Out-edge lists per vertex, assembled from the windows (and the
+	// self block inside shard k).
+	outEdges := make(map[uint32][]uint32)
+	var outWeights map[uint32][]uint32
+	if e.weighted {
+		outWeights = make(map[uint32][]uint32)
+	}
+	collect := func(ws []shard.Record) {
+		for i := range ws {
+			r := &ws[i]
+			if r.Src >= iv.Lo && r.Src < iv.Hi {
+				outEdges[r.Src] = append(outEdges[r.Src], r.Dst)
+				if outWeights != nil {
+					outWeights[r.Src] = append(outWeights[r.Src], r.Weight)
+				}
+			}
+		}
+	}
+	// Iterate destination intervals in ascending order so each vertex's
+	// out-edge list is sorted by destination, matching the CSR engines —
+	// programs that index into OutEdges (random walk) depend on a
+	// consistent order.
+	for j := range e.ivs {
+		if j == ir.k {
+			collect(recs) // self block
+		} else if w := windows[j]; w != nil {
+			collect(w.Records())
+		}
+	}
+
+	// The active vertices of this interval.
+	var verts []uint32
+	ir.active.RangeInRange(int(iv.Lo), int(iv.Hi), func(i int) bool {
+		verts = append(verts, uint32(i))
+		return true
+	})
+	if len(verts) == 0 && !ir.isAux {
+		return nil
+	}
+	ir.ss.Active += uint64(len(verts))
+
+	// Vertex values for the interval.
+	vb, _, err := ir.values.LoadForVerts(verts)
+	if err != nil {
+		return err
+	}
+
+	// Process vertices in parallel; sends buffer per worker and apply
+	// sequentially afterwards (edge records are shared state).
+	workers := e.cfg.Workers
+	if workers > len(verts) {
+		workers = len(verts)
+	}
+	sends := make([][]send, workers)
+	haltedFlags := make([]bool, len(verts))
+	var wg sync.WaitGroup
+	chunk := 0
+	if workers > 0 {
+		chunk = (len(verts) + workers - 1) / workers
+	}
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(verts) {
+			hi = len(verts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ctx := &chiCtx{eng: e, ir: ir, vb: vb, recs: recs, inEdges: inEdges, outEdges: outEdges, outWeights: outWeights}
+			for i := lo; i < hi; i++ {
+				v := verts[i]
+				ctx.vertex = v
+				ctx.haltedFlag = &haltedFlags[i]
+				ctx.sends = &sends[w]
+				ctx.prepare()
+				ir.prog.Process(ctx, msgs[v])
+				ctx.persistAux()
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for i, v := range verts {
+		if haltedFlags[i] {
+			ir.halted.Set(int(v))
+		} else {
+			ir.halted.Clear(int(v))
+		}
+		ir.ss.MsgsDelivered += uint64(len(msgs[v]))
+	}
+
+	// Apply buffered sends: write the message into the out-edge record
+	// (self block or window) and activate the destination.
+	for _, bucket := range sends {
+		for _, s := range bucket {
+			ir.ss.MsgsSent++
+			ir.nextActive.Set(int(s.dst))
+			j := e.idx.Of(s.dst)
+			var rec *shard.Record
+			if j == ir.k {
+				rec = findRecord(recs, inEdges, s.src, s.dst)
+			} else if w := windows[j]; w != nil {
+				rec = w.Find(s.src, s.dst)
+			}
+			if rec == nil {
+				// Message along a non-existent edge: GraphChi cannot
+				// deliver it; our programs never do this.
+				continue
+			}
+			rec.Val[1-p] = s.data
+			rec.Flags |= otherFlag
+		}
+	}
+
+	// Write everything back.
+	if err := ir.store.StoreShard(ir.k, recs); err != nil {
+		return err
+	}
+	for j, w := range windows {
+		if j == ir.k || w == nil {
+			continue
+		}
+		if err := w.WriteBack(); err != nil {
+			return err
+		}
+	}
+	if _, err := vb.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// findRecord locates (src, dst) among shard k's records using the per-dst
+// index (records per dst are source-sorted).
+func findRecord(recs []shard.Record, inEdges map[uint32][]int, src, dst uint32) *shard.Record {
+	idxs := inEdges[dst]
+	i := sort.Search(len(idxs), func(i int) bool { return recs[idxs[i]].Src >= src })
+	if i < len(idxs) && recs[idxs[i]].Src == src {
+		return &recs[idxs[i]]
+	}
+	return nil
+}
+
+// chiCtx implements vc.Context for the GraphChi engine.
+type chiCtx struct {
+	eng        *Engine
+	ir         *intervalRun
+	vb         *csr.ValueBatch
+	recs       []shard.Record
+	inEdges    map[uint32][]int
+	outEdges   map[uint32][]uint32
+	outWeights map[uint32][]uint32 // nil for unweighted graphs
+
+	vertex     uint32
+	haltedFlag *bool
+	sends      *[]send
+
+	srcsBuf []uint32
+	auxBuf  []uint32
+	hasAux  bool
+}
+
+// prepare assembles the aux view (in-edge sources + current edge values)
+// for AuxUser programs.
+func (c *chiCtx) prepare() {
+	c.hasAux = false
+	if !c.ir.isAux {
+		return
+	}
+	idxs := c.inEdges[c.vertex]
+	c.srcsBuf = c.srcsBuf[:0]
+	c.auxBuf = c.auxBuf[:0]
+	for _, i := range idxs {
+		c.srcsBuf = append(c.srcsBuf, c.recs[i].Src)
+		c.auxBuf = append(c.auxBuf, c.recs[i].Val[c.ir.p])
+	}
+	c.hasAux = true
+}
+
+// persistAux writes aux mutations into the next-superstep value slots
+// (unless a fresh message already claimed the slot).
+func (c *chiCtx) persistAux() {
+	if !c.hasAux {
+		return
+	}
+	p := c.ir.p
+	otherFlag := uint32(shard.FlagMsg0 << (1 - p))
+	for j, i := range c.inEdges[c.vertex] {
+		r := &c.recs[i]
+		if r.Flags&otherFlag == 0 && r.Val[1-p] != c.auxBuf[j] {
+			r.Val[1-p] = c.auxBuf[j]
+		}
+	}
+}
+
+func (c *chiCtx) Superstep() int      { return c.ir.step }
+func (c *chiCtx) NumVertices() uint32 { return c.eng.n }
+func (c *chiCtx) Vertex() uint32      { return c.vertex }
+func (c *chiCtx) Value() uint32       { return c.vb.Get(c.vertex) }
+func (c *chiCtx) SetValue(v uint32)   { c.vb.Set(c.vertex, v) }
+func (c *chiCtx) VoteToHalt()         { *c.haltedFlag = true }
+func (c *chiCtx) OutEdges() []uint32  { return c.outEdges[c.vertex] }
+func (c *chiCtx) OutWeights() []uint32 {
+	if c.outWeights == nil {
+		return nil
+	}
+	return c.outWeights[c.vertex]
+}
+func (c *chiCtx) Send(dst, data uint32) {
+	*c.sends = append(*c.sends, send{src: c.vertex, dst: dst, data: data})
+}
+func (c *chiCtx) InEdgeSources() []uint32 {
+	if !c.hasAux {
+		return nil
+	}
+	return c.srcsBuf
+}
+func (c *chiCtx) Aux() []uint32 {
+	if !c.hasAux {
+		return nil
+	}
+	return c.auxBuf
+}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/ssd"
+)
+
+// TestFaultInjectionPropagates arms device failures at increasing depths
+// and verifies every engine surfaces the error cleanly — no panics, no
+// silent truncation of results.
+func TestFaultInjectionPropagates(t *testing.T) {
+	ds, err := CFMini(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type runner struct {
+		name string
+		run  func(env *Env) error
+	}
+	runners := []runner{
+		{"multilogvc", func(env *Env) error {
+			_, _, err := RunMLVC(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
+			return err
+		}},
+		{"graphchi", func(env *Env) error {
+			_, _, err := RunGraphChi(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
+			return err
+		}},
+		{"grafboost", func(env *Env) error {
+			_, _, err := RunGraFBoost(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
+			return err
+		}},
+	}
+
+	for _, r := range runners {
+		// Find how many device ops a clean run needs, then fail at a few
+		// depths inside that window.
+		env, err := Prepare(ds, EnvOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.run(env); err != nil {
+			t.Fatalf("%s: clean run failed: %v", r.name, err)
+		}
+		st := env.Dev.Stats()
+		total := int64(st.BatchReads + st.BatchWrites)
+		if total < 10 {
+			t.Fatalf("%s: too few ops (%d) to inject into", r.name, total)
+		}
+		for _, depth := range []int64{0, 1, total / 4, total / 2} {
+			env, err := Prepare(ds, EnvOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env.Dev.FailAfter(depth, nil)
+			err = r.run(env)
+			if err == nil {
+				t.Errorf("%s: injected failure at depth %d was swallowed", r.name, depth)
+				continue
+			}
+			if !errors.Is(err, ssd.ErrInjected) {
+				t.Errorf("%s: depth %d returned %v, want ErrInjected in chain", r.name, depth, err)
+			}
+		}
+	}
+}
+
+// TestFaultDisarm verifies a disarmed device works again.
+func TestFaultDisarm(t *testing.T) {
+	ds, _ := CFMini(Tiny)
+	env, err := Prepare(ds, EnvOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Dev.FailAfter(0, nil)
+	if _, _, err := RunMLVC(env, &apps.BFS{Source: 0}, RunOpts{MaxSupersteps: 3}); err == nil {
+		t.Fatal("armed device did not fail")
+	}
+	env.Dev.FailAfter(-1, nil)
+	if _, _, err := RunMLVC(env, &apps.BFS{Source: 0}, RunOpts{MaxSupersteps: 3}); err != nil {
+		t.Fatalf("disarmed device still failing: %v", err)
+	}
+}

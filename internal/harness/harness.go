@@ -1,0 +1,279 @@
+// Package harness prepares datasets and drives the engines for the
+// experiment suite: it regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index) on scaled-down R-MAT
+// analogs of com-friendster and the Yahoo Webscope graph.
+package harness
+
+import (
+	"fmt"
+
+	"multilogvc/internal/core"
+	"multilogvc/internal/csr"
+	"multilogvc/internal/gen"
+	"multilogvc/internal/grafboost"
+	"multilogvc/internal/graphchi"
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/metrics"
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/vc"
+)
+
+// Dataset is a named edge list.
+type Dataset struct {
+	Name  string
+	Edges []graphio.Edge
+	N     uint32
+}
+
+// AvgDegree returns directed edges per vertex.
+func (d Dataset) AvgDegree() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return float64(len(d.Edges)) / float64(d.N)
+}
+
+// Size selects dataset scale. The paper's graphs have 3.6B/12.9B edges;
+// these analogs keep the degree shape at laptop scale.
+type Size int
+
+const (
+	// Tiny is for unit tests and CI (≈2^10 vertices).
+	Tiny Size = iota
+	// Small is the default benchmark scale (≈2^13 vertices).
+	Small
+	// Medium stresses the out-of-core paths (≈2^15 vertices).
+	Medium
+)
+
+func (s Size) scale() int {
+	switch s {
+	case Tiny:
+		return 10
+	case Medium:
+		return 15
+	default:
+		return 13
+	}
+}
+
+// CFMini generates the com-friendster analog: dense power-law, average
+// degree ≈ 24 after symmetrization (paper: 29).
+func CFMini(size Size) (Dataset, error) {
+	scale := size.scale()
+	edges, err := gen.RMAT(gen.DefaultRMAT(scale, 12, 0xCF))
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Dataset{Name: "cf-mini", Edges: edges, N: 1 << scale}, nil
+}
+
+// YWSMini generates the Yahoo-Webscope analog: sparser web-like power
+// law, average degree ≈ 8 (paper: 9), more vertices than CFMini.
+func YWSMini(size Size) (Dataset, error) {
+	scale := size.scale() + 1
+	edges, err := gen.RMAT(gen.DefaultRMAT(scale, 4, 0x135))
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Dataset{Name: "yws-mini", Edges: edges, N: 1 << scale}, nil
+}
+
+// WebFrontier generates the BFS-depth analog used by the Fig 5 traversal
+// experiments: a small-world graph whose frontier expands gradually over
+// tens of supersteps, like the multi-billion-vertex web graph's long-tail
+// diameter. (The power-law analogs' diameter collapses to single digits
+// at laptop scale, which would make every traversal fraction stop at the
+// same superstep.)
+func WebFrontier(size Size) (Dataset, error) {
+	side := 1 << ((size.scale() + 1) / 2) // ≈ sqrt of the vertex count
+	shortcuts := side * side / 128
+	edges, err := gen.SmallWorld(side, side, shortcuts, 0x3E)
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Dataset{Name: "webfrontier-mini", Edges: edges, N: uint32(side * side)}, nil
+}
+
+// Datasets returns both analogs.
+func Datasets(size Size) ([]Dataset, error) {
+	cf, err := CFMini(size)
+	if err != nil {
+		return nil, err
+	}
+	yws, err := YWSMini(size)
+	if err != nil {
+		return nil, err
+	}
+	return []Dataset{cf, yws}, nil
+}
+
+// Env is a prepared experiment environment: one dataset on one device
+// with a built CSR graph and a memory budget scaled the way the paper
+// scales its 1 GB budget against ~100 GB graphs.
+type Env struct {
+	Dev       *ssd.Device
+	Graph     *csr.Graph
+	DS        Dataset
+	MemBudget int64
+	PageSize  int
+}
+
+// EnvOptions tunes Prepare.
+type EnvOptions struct {
+	// PageSize defaults to 4096 for benchmark scale (16384 matches the
+	// paper but needs larger graphs to be interesting).
+	PageSize int
+	// Channels defaults to 8.
+	Channels int
+	// MemBudget defaults to ~2% of the graph's edge bytes (the paper's
+	// 1GB : 50-100GB ratio), floored at 64 KiB.
+	MemBudget int64
+	// Dir backs the device with real files when non-empty.
+	Dir string
+}
+
+// Prepare builds the CSR graph for ds on a fresh device.
+func Prepare(ds Dataset, opts EnvOptions) (*Env, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = 4096
+	}
+	if opts.Channels <= 0 {
+		opts.Channels = 8
+	}
+	if opts.MemBudget <= 0 {
+		graphBytes := int64(len(ds.Edges)) * 4
+		opts.MemBudget = graphBytes * 2 / 100
+		if opts.MemBudget < 64<<10 {
+			opts.MemBudget = 64 << 10
+		}
+	}
+	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir})
+	if err != nil {
+		return nil, err
+	}
+	// Interval budget = the sort share of the memory budget (§V-A1).
+	ivBudget := opts.MemBudget * 75 / 100
+	g, err := csr.Build(dev, ds.Name, ds.Edges, csr.BuildOptions{
+		NumVertices:    ds.N,
+		IntervalBudget: ivBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Dev: dev, Graph: g, DS: ds, MemBudget: opts.MemBudget, PageSize: opts.PageSize}, nil
+}
+
+// RunOpts carries the per-run knobs shared by all engines.
+type RunOpts struct {
+	MaxSupersteps int
+	StopAfter     func(step int, cumProcessed uint64) bool
+	// MultiLogVC ablations.
+	DisableEdgeLog  bool
+	DisableCombiner bool
+	DisableFusing   bool
+	// GraFBoost adapted mode.
+	Adapted bool
+	// MemBudget overrides the environment's budget when > 0.
+	MemBudget int64
+	Workers   int
+}
+
+func (o RunOpts) budget(env *Env) int64 {
+	if o.MemBudget > 0 {
+		return o.MemBudget
+	}
+	return env.MemBudget
+}
+
+// RunMLVC runs prog on the MultiLogVC engine.
+func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, error) {
+	eng := core.New(env.Graph, core.Config{
+		MemoryBudget:    o.budget(env),
+		MaxSupersteps:   o.MaxSupersteps,
+		StopAfter:       o.StopAfter,
+		DisableEdgeLog:  o.DisableEdgeLog,
+		DisableCombiner: o.DisableCombiner,
+		DisableFusing:   o.DisableFusing,
+		Workers:         o.Workers,
+	})
+	res, err := eng.Run(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: multilogvc/%s on %s: %w", prog.Name(), env.DS.Name, err)
+	}
+	return res.Report, res.Values, nil
+}
+
+// RunGraphChi runs prog on the GraphChi baseline.
+func RunGraphChi(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, error) {
+	eng := graphchi.New(env.Dev, env.DS.Name, env.DS.Edges, env.Graph.Intervals(), graphchi.Config{
+		MaxSupersteps: o.MaxSupersteps,
+		StopAfter:     o.StopAfter,
+		Workers:       o.Workers,
+	})
+	res, err := eng.Run(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: graphchi/%s on %s: %w", prog.Name(), env.DS.Name, err)
+	}
+	return res.Report, res.Values, nil
+}
+
+// RunGraFBoost runs prog on the GraFBoost baseline.
+func RunGraFBoost(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, error) {
+	eng := grafboost.New(env.Graph, grafboost.Config{
+		MemoryBudget:  o.budget(env),
+		MaxSupersteps: o.MaxSupersteps,
+		StopAfter:     o.StopAfter,
+		Adapted:       o.Adapted,
+		Workers:       o.Workers,
+	})
+	res, err := eng.Run(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: grafboost/%s on %s: %w", prog.Name(), env.DS.Name, err)
+	}
+	return res.Report, res.Values, nil
+}
+
+// PrepareWeighted builds a weighted CSR graph for ds (wedges must strip to
+// ds.Edges).
+func PrepareWeighted(ds Dataset, wedges []graphio.WeightedEdge, opts EnvOptions) (*Env, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = 4096
+	}
+	if opts.Channels <= 0 {
+		opts.Channels = 8
+	}
+	if opts.MemBudget <= 0 {
+		graphBytes := int64(len(ds.Edges)) * 4
+		opts.MemBudget = graphBytes * 2 / 100
+		if opts.MemBudget < 64<<10 {
+			opts.MemBudget = 64 << 10
+		}
+	}
+	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir})
+	if err != nil {
+		return nil, err
+	}
+	g, err := csr.BuildWeighted(dev, ds.Name, wedges, csr.BuildOptions{
+		NumVertices:    ds.N,
+		IntervalBudget: opts.MemBudget * 75 / 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Dev: dev, Graph: g, DS: ds, MemBudget: opts.MemBudget, PageSize: opts.PageSize}, nil
+}
+
+// RunGraphChiWeighted runs prog on the weighted shard baseline.
+func RunGraphChiWeighted(env *Env, wedges []graphio.WeightedEdge, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, error) {
+	eng := graphchi.NewWeighted(env.Dev, env.DS.Name, wedges, env.Graph.Intervals(), graphchi.Config{
+		MaxSupersteps: o.MaxSupersteps,
+		StopAfter:     o.StopAfter,
+		Workers:       o.Workers,
+	})
+	res, err := eng.Run(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: graphchi-w/%s on %s: %w", prog.Name(), env.DS.Name, err)
+	}
+	return res.Report, res.Values, nil
+}

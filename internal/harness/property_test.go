@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/csr"
+	"multilogvc/internal/gen"
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/vc"
+)
+
+// TestQuickCrossEngineEquality is the suite's strongest property test:
+// for random graphs, random device geometries, and every program class,
+// all three out-of-core engines must reproduce the in-memory reference
+// engine's vertex values exactly.
+func TestQuickCrossEngineEquality(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random graph from a random generator family.
+		var edges []graphio.Edge
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			edges, err = gen.RMAT(gen.DefaultRMAT(6+rng.Intn(3), 2+rng.Intn(5), rng.Int63()))
+		case 1:
+			edges, err = gen.Uniform(uint32(50+rng.Intn(300)), 200+rng.Intn(800), rng.Int63(), true)
+		default:
+			edges, err = gen.Grid(3+rng.Intn(12), 3+rng.Intn(12))
+		}
+		if err != nil || len(edges) == 0 {
+			return err == nil
+		}
+		n := graphio.NumVertices(edges)
+
+		// Random device geometry and memory budget.
+		dev := ssd.MustOpen(ssd.Config{
+			PageSize: 128 << rng.Intn(4), // 128..1024
+			Channels: 1 + rng.Intn(8),
+		})
+		g, err := csr.Build(dev, "q", edges, csr.BuildOptions{
+			NumVertices:    n,
+			IntervalBudget: int64(256 + rng.Intn(4096)),
+		})
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		env := &Env{Dev: dev, Graph: g, DS: Dataset{Name: "q", Edges: edges, N: n},
+			MemBudget: int64(4096 + rng.Intn(1<<16)), PageSize: dev.PageSize()}
+
+		// A random program.
+		progs := []vc.Program{
+			&apps.BFS{Source: uint32(rng.Intn(int(n)))},
+			&apps.PageRank{},
+			&apps.CDLP{},
+			&apps.Coloring{},
+			&apps.MIS{Seed: rng.Uint64()},
+			&apps.RandomWalk{SampleEvery: uint32(1 + rng.Intn(64)), WalkLength: uint32(1 + rng.Intn(12)), Seed: rng.Uint64()},
+			&apps.WCC{},
+			&apps.KCore{K: uint32(1 + rng.Intn(5))},
+		}
+		prog := progs[rng.Intn(len(progs))]
+		steps := 5 + rng.Intn(25)
+
+		ref := vc.NewRef(edges, n).Run(prog, steps)
+		opts := RunOpts{MaxSupersteps: steps, Workers: 1 + rng.Intn(4)}
+
+		_, mlVals, err := RunMLVC(env, prog, opts)
+		if err != nil {
+			t.Logf("mlvc/%s: %v", prog.Name(), err)
+			return false
+		}
+		_, gcVals, err := RunGraphChi(env, prog, opts)
+		if err != nil {
+			t.Logf("graphchi/%s: %v", prog.Name(), err)
+			return false
+		}
+		var gbVals []uint32
+		if _, ok := prog.(vc.Combiner); ok {
+			_, gbVals, err = RunGraFBoost(env, prog, opts)
+		} else {
+			adapted := opts
+			adapted.Adapted = true
+			_, gbVals, err = RunGraFBoost(env, prog, adapted)
+		}
+		if err != nil {
+			t.Logf("grafboost/%s: %v", prog.Name(), err)
+			return false
+		}
+		for v := range ref.Values {
+			if mlVals[v] != ref.Values[v] || gcVals[v] != ref.Values[v] || gbVals[v] != ref.Values[v] {
+				t.Logf("%s seed %d: value[%d] ref=%d mlvc=%d graphchi=%d grafboost=%d",
+					prog.Name(), seed, v, ref.Values[v], mlVals[v], gcVals[v], gbVals[v])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

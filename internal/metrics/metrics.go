@@ -1,0 +1,190 @@
+// Package metrics defines the per-run and per-superstep measurements all
+// engines report, and formatting helpers for the experiment harness.
+//
+// Times are split the way the paper's Fig 5c splits them: StorageTime is
+// the simulated device time (virtual clock, see internal/ssd) and
+// ComputeTime is measured host time outside device calls. TotalTime — the
+// quantity behind every speedup figure — is their sum.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SuperstepStats measures one superstep of one engine run.
+type SuperstepStats struct {
+	Superstep int
+
+	Active        uint64 // vertices processed
+	MsgsSent      uint64
+	MsgsDelivered uint64
+
+	PagesRead    uint64
+	PagesWritten uint64
+	StorageTime  time.Duration
+	ComputeTime  time.Duration
+
+	// MultiLogVC-specific accounting (zero for other engines).
+	ColIdxPagesRead   uint64 // graph adjacency pages fetched from CSR
+	EdgeLogPagesRead  uint64 // adjacency served from the edge log instead
+	EdgeLogPagesWrite uint64
+	InefficientPages  uint64 // colidx pages with >0% and <10% utilization
+	PredictedIneff    uint64 // pages the edge-log optimizer predicted inefficient
+	CorrectPredicted  uint64 // predictions that were inefficient again
+	UtilPagesTouched  uint64 // distinct colidx pages whose utilization was measured
+}
+
+// Total returns storage + compute time for the superstep.
+func (s SuperstepStats) Total() time.Duration { return s.StorageTime + s.ComputeTime }
+
+// Report is the outcome of one engine run.
+type Report struct {
+	Engine string
+	App    string
+	Graph  string
+
+	Supersteps []SuperstepStats
+	Converged  bool
+
+	PagesRead    uint64
+	PagesWritten uint64
+	StorageTime  time.Duration
+	ComputeTime  time.Duration
+	WallTime     time.Duration // measured end-to-end host time
+}
+
+// TotalTime is the modeled run time: storage (virtual) + compute (host).
+func (r *Report) TotalTime() time.Duration { return r.StorageTime + r.ComputeTime }
+
+// Finish accumulates per-superstep stats into the run totals.
+func (r *Report) Finish() {
+	r.PagesRead, r.PagesWritten = 0, 0
+	r.StorageTime, r.ComputeTime = 0, 0
+	for _, s := range r.Supersteps {
+		r.PagesRead += s.PagesRead
+		r.PagesWritten += s.PagesWritten
+		r.StorageTime += s.StorageTime
+		r.ComputeTime += s.ComputeTime
+	}
+}
+
+// TotalPages returns pages read + written.
+func (r *Report) TotalPages() uint64 { return r.PagesRead + r.PagesWritten }
+
+// StorageFraction returns the share of total time spent on storage
+// (the paper's Fig 5c series).
+func (r *Report) StorageFraction() float64 {
+	t := r.TotalTime()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.StorageTime) / float64(t)
+}
+
+// Speedup returns base's total time divided by r's total time: how much
+// faster r is than base.
+func Speedup(base, r *Report) float64 {
+	if r.TotalTime() == 0 {
+		return 0
+	}
+	return float64(base.TotalTime()) / float64(r.TotalTime())
+}
+
+// PageRatio returns base's total page count divided by r's (Fig 5b).
+func PageRatio(base, r *Report) float64 {
+	if r.TotalPages() == 0 {
+		return 0
+	}
+	return float64(base.TotalPages()) / float64(r.TotalPages())
+}
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s/%s on %s: %d supersteps, total=%v (storage=%v compute=%v), pages r/w=%d/%d, converged=%v",
+		r.Engine, r.App, r.Graph, len(r.Supersteps), r.TotalTime().Round(time.Microsecond),
+		r.StorageTime.Round(time.Microsecond), r.ComputeTime.Round(time.Microsecond),
+		r.PagesRead, r.PagesWritten, r.Converged)
+}
+
+// Table renders rows as an aligned text table for harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with 2 decimals (table helper).
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// D formats a duration rounded to microseconds (table helper).
+func D(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// CSV renders the table as comma-separated values (header + rows), for
+// feeding the regenerated figure series into plotting tools. Cells
+// containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRec := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRec(t.Headers)
+	for _, row := range t.Rows {
+		writeRec(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport(storage, compute time.Duration) *Report {
+	r := &Report{Engine: "multilogvc", App: "bfs", Graph: "g"}
+	r.Supersteps = []SuperstepStats{
+		{Superstep: 0, Active: 10, PagesRead: 100, PagesWritten: 20,
+			StorageTime: storage / 2, ComputeTime: compute / 2},
+		{Superstep: 1, Active: 5, PagesRead: 50, PagesWritten: 10,
+			StorageTime: storage / 2, ComputeTime: compute / 2},
+	}
+	r.Finish()
+	return r
+}
+
+func TestReportFinishAccumulates(t *testing.T) {
+	r := sampleReport(10*time.Millisecond, 6*time.Millisecond)
+	if r.PagesRead != 150 || r.PagesWritten != 30 {
+		t.Fatalf("pages = %d/%d", r.PagesRead, r.PagesWritten)
+	}
+	if r.TotalPages() != 180 {
+		t.Fatalf("TotalPages = %d", r.TotalPages())
+	}
+	if r.StorageTime != 10*time.Millisecond || r.ComputeTime != 6*time.Millisecond {
+		t.Fatalf("times = %v/%v", r.StorageTime, r.ComputeTime)
+	}
+	if r.TotalTime() != 16*time.Millisecond {
+		t.Fatalf("TotalTime = %v", r.TotalTime())
+	}
+}
+
+func TestStorageFraction(t *testing.T) {
+	r := sampleReport(12*time.Millisecond, 4*time.Millisecond)
+	if f := r.StorageFraction(); f < 0.74 || f > 0.76 {
+		t.Fatalf("StorageFraction = %f, want 0.75", f)
+	}
+	empty := &Report{}
+	if empty.StorageFraction() != 0 {
+		t.Fatal("empty report fraction should be 0")
+	}
+}
+
+func TestSpeedupAndPageRatio(t *testing.T) {
+	base := sampleReport(20*time.Millisecond, 0)
+	fast := sampleReport(5*time.Millisecond, 0)
+	if sp := Speedup(base, fast); sp < 3.9 || sp > 4.1 {
+		t.Fatalf("Speedup = %f, want 4", sp)
+	}
+	if pr := PageRatio(base, fast); pr != 1 {
+		t.Fatalf("PageRatio of equal page counts = %f", pr)
+	}
+	zero := &Report{}
+	if Speedup(base, zero) != 0 || PageRatio(base, zero) != 0 {
+		t.Fatal("zero-denominator guards failed")
+	}
+}
+
+func TestSuperstepTotal(t *testing.T) {
+	ss := SuperstepStats{StorageTime: time.Second, ComputeTime: 2 * time.Second}
+	if ss.Total() != 3*time.Second {
+		t.Fatalf("Total = %v", ss.Total())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := sampleReport(time.Millisecond, time.Millisecond).String()
+	for _, want := range []string{"multilogvc/bfs", "2 supersteps", "pages r/w=150/30"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("a-much-longer-name", "22.50")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Columns align: every data line has "value" column at same offset.
+	col := strings.Index(lines[1], "value")
+	if col < 0 {
+		t.Fatal("header missing value column")
+	}
+	if lines[3][col-2:col] != "  " {
+		t.Fatalf("row 1 misaligned: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "22.50") {
+		t.Fatalf("row 2 = %q", lines[4])
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(1.23456) != "1.23" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if D(1500*time.Nanosecond) != "2µs" {
+		t.Fatalf("D = %q", D(1500*time.Nanosecond))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("plain", "with,comma")
+	tab.AddRow(`with"quote`, "x")
+	got := tab.CSV()
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,320 @@
+// Package mlog implements the multi-log update unit of §V-A: one message
+// log per destination vertex interval, with page-sized in-memory top
+// buffers and batched eviction to the device.
+//
+// Every update sent between vertices is appended as a 12-byte
+// <dst, src, data> record to the log of the destination's interval. Because
+// each interval's worst-case incoming volume was bounded at partition time,
+// the whole log of one interval fits the engine's sort budget in the next
+// superstep — the property that lets MultiLogVC sort in memory and avoid
+// GraFBoost's external sort.
+//
+// The engine owns two Logs (current and next generation) and swaps them at
+// superstep boundaries, mirroring the double-buffered message flow of BSP.
+package mlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"multilogvc/internal/ssd"
+)
+
+// RecordBytes is the on-device size of one logged update.
+const RecordBytes = 12
+
+// pageHeader is the per-page record-count prefix. It lets a log be read
+// back even when partially filled pages were flushed mid-superstep, which
+// the asynchronous computation model (§V-F) needs.
+const pageHeader = 4
+
+// Log is one generation of the multi-log: one append-only log file per
+// vertex interval. Appends are safe for concurrent use (per-interval
+// locking); FlushAll, Read, and ResetAll are not concurrent with appends.
+type Log struct {
+	dev       *ssd.Device
+	prefix    string
+	pageSize  int
+	recPerPag int
+	budget    int64 // multi-log memory buffer size (paper's A%)
+
+	mu    []sync.Mutex // one per interval
+	files []*ssd.File  // created lazily
+	top   [][]byte     // top (partial) page per interval
+	fill  []int        // bytes used in top page
+	full  [][][]byte   // completed pages awaiting eviction
+	count []uint64     // records per interval
+
+	evictMu  sync.Mutex
+	buffered int64 // bytes held in completed (evictable) pages
+
+	totalMu sync.Mutex
+	total   uint64
+}
+
+// New creates a Log with one interval log per interval. prefix names the
+// device files ("<prefix>.<interval>"). budget is the in-memory buffer
+// size in bytes before completed pages are evicted to the device; it is
+// floored at one page per interval, matching the paper's requirement that
+// at least one log buffer page exists per interval.
+func New(dev *ssd.Device, prefix string, numIntervals int, budget int64) (*Log, error) {
+	if numIntervals <= 0 {
+		return nil, fmt.Errorf("mlog: numIntervals %d invalid", numIntervals)
+	}
+	ps := dev.PageSize()
+	if min := int64(numIntervals) * int64(ps); budget < min {
+		budget = min
+	}
+	l := &Log{
+		dev:       dev,
+		prefix:    prefix,
+		pageSize:  ps,
+		recPerPag: (ps - pageHeader) / RecordBytes,
+		budget:    budget,
+		mu:        make([]sync.Mutex, numIntervals),
+		files:     make([]*ssd.File, numIntervals),
+		top:       make([][]byte, numIntervals),
+		fill:      make([]int, numIntervals),
+		full:      make([][][]byte, numIntervals),
+		count:     make([]uint64, numIntervals),
+	}
+	if l.recPerPag == 0 {
+		return nil, fmt.Errorf("mlog: page size %d smaller than record", ps)
+	}
+	return l, nil
+}
+
+// NumIntervals returns the number of interval logs.
+func (l *Log) NumIntervals() int { return len(l.mu) }
+
+// Append logs the update <dst, src, data> to interval's log.
+func (l *Log) Append(interval int, dst, src, data uint32) error {
+	l.mu[interval].Lock()
+	if l.top[interval] == nil {
+		l.top[interval] = make([]byte, l.pageSize)
+		l.fill[interval] = pageHeader
+	}
+	page := l.top[interval]
+	off := l.fill[interval]
+	binary.LittleEndian.PutUint32(page[off:], dst)
+	binary.LittleEndian.PutUint32(page[off+4:], src)
+	binary.LittleEndian.PutUint32(page[off+8:], data)
+	l.fill[interval] = off + RecordBytes
+	l.count[interval]++
+	var completed bool
+	if l.fill[interval]+RecordBytes > l.pageSize {
+		sealPage(page, l.fill[interval])
+		l.full[interval] = append(l.full[interval], page)
+		l.top[interval] = nil
+		l.fill[interval] = 0
+		completed = true
+	}
+	l.mu[interval].Unlock()
+
+	l.totalMu.Lock()
+	l.total++
+	l.totalMu.Unlock()
+
+	if completed {
+		l.evictMu.Lock()
+		l.buffered += int64(l.pageSize)
+		over := l.buffered > l.budget
+		l.evictMu.Unlock()
+		if over {
+			return l.evictFull()
+		}
+	}
+	return nil
+}
+
+// evictFull writes every completed page to its interval's file, batching
+// the pages of each interval into a single device write.
+func (l *Log) evictFull() error {
+	for iv := range l.mu {
+		l.mu[iv].Lock()
+		pages := l.full[iv]
+		l.full[iv] = nil
+		l.mu[iv].Unlock()
+		if len(pages) == 0 {
+			continue
+		}
+		f, err := l.file(iv)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 0, len(pages)*l.pageSize)
+		for _, p := range pages {
+			buf = append(buf, p...)
+		}
+		if err := f.AppendPages(buf); err != nil {
+			return err
+		}
+		l.evictMu.Lock()
+		l.buffered -= int64(len(pages) * l.pageSize)
+		l.evictMu.Unlock()
+	}
+	return nil
+}
+
+func (l *Log) file(iv int) (*ssd.File, error) {
+	l.mu[iv].Lock()
+	defer l.mu[iv].Unlock()
+	if l.files[iv] == nil {
+		f, err := l.dev.OpenOrCreate(fmt.Sprintf("%s.%d", l.prefix, iv))
+		if err != nil {
+			return nil, err
+		}
+		// A fresh Log generation must start empty even when the device
+		// file survives from an earlier run.
+		if f.NumPages() > 0 {
+			if err := f.Truncate(); err != nil {
+				return nil, err
+			}
+		}
+		l.files[iv] = f
+	}
+	return l.files[iv], nil
+}
+
+// FlushAll evicts every completed page and the partial top pages so the
+// whole generation is readable from the device. Called at the end of a
+// superstep, before the generation swap.
+func (l *Log) FlushAll() error {
+	if err := l.evictFull(); err != nil {
+		return err
+	}
+	for iv := range l.mu {
+		if err := l.FlushInterval(iv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushInterval evicts interval iv's completed pages and partial top page
+// so that interval's log is readable. The asynchronous engine flushes
+// single intervals mid-superstep.
+func (l *Log) FlushInterval(iv int) error {
+	l.mu[iv].Lock()
+	fullPages := l.full[iv]
+	l.full[iv] = nil
+	page := l.top[iv]
+	fill := l.fill[iv]
+	l.top[iv] = nil
+	l.fill[iv] = 0
+	l.mu[iv].Unlock()
+	if len(fullPages) > 0 {
+		l.evictMu.Lock()
+		l.buffered -= int64(len(fullPages) * l.pageSize)
+		l.evictMu.Unlock()
+	}
+	if page != nil && fill > pageHeader {
+		for i := fill; i < l.pageSize; i++ {
+			page[i] = 0
+		}
+		sealPage(page, fill)
+		fullPages = append(fullPages, page)
+	}
+	if len(fullPages) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, len(fullPages)*l.pageSize)
+	for _, p := range fullPages {
+		buf = append(buf, p...)
+	}
+	f, err := l.file(iv)
+	if err != nil {
+		return err
+	}
+	return f.AppendPages(buf)
+}
+
+// sealPage records the page's byte fill in its header.
+func sealPage(page []byte, fill int) {
+	binary.LittleEndian.PutUint32(page, uint32((fill-pageHeader)/RecordBytes))
+}
+
+// Count returns the number of records logged to interval's log this
+// generation — the counter the runtime uses to estimate log sizes for
+// interval fusing (§V-A2).
+func (l *Log) Count(interval int) uint64 {
+	l.mu[interval].Lock()
+	defer l.mu[interval].Unlock()
+	return l.count[interval]
+}
+
+// Total returns the number of records logged across all intervals.
+func (l *Log) Total() uint64 {
+	l.totalMu.Lock()
+	defer l.totalMu.Unlock()
+	return l.total
+}
+
+// Read streams interval's log from the device in record order, flushing
+// the interval's in-memory buffers first so mid-superstep reads (the
+// asynchronous model) see every appended record. Pages are read with the
+// device's batched reader, so a log dispersed over the channels loads at
+// full bandwidth (§V-A3). Each page's record count comes from its header.
+func (l *Log) Read(interval int, fn func(dst, src, data uint32)) error {
+	if err := l.FlushInterval(interval); err != nil {
+		return err
+	}
+	l.mu[interval].Lock()
+	n := l.count[interval]
+	f := l.files[interval]
+	l.mu[interval].Unlock()
+	if n == 0 || f == nil {
+		return nil
+	}
+	r := ssd.NewReader(f, 64)
+	remaining := n
+	var buf []byte
+	for remaining > 0 {
+		need := l.pageSize
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		if err := r.ReadFull(buf[:need]); err != nil {
+			return fmt.Errorf("mlog: read interval %d: %w", interval, err)
+		}
+		inPage := uint64(binary.LittleEndian.Uint32(buf))
+		if inPage > remaining {
+			return fmt.Errorf("mlog: interval %d page holds %d records, %d expected", interval, inPage, remaining)
+		}
+		for i := uint64(0); i < inPage; i++ {
+			off := pageHeader + int(i)*RecordBytes
+			fn(binary.LittleEndian.Uint32(buf[off:]),
+				binary.LittleEndian.Uint32(buf[off+4:]),
+				binary.LittleEndian.Uint32(buf[off+8:]))
+		}
+		remaining -= inPage
+	}
+	return nil
+}
+
+// ResetAll truncates every interval log and zeroes the counters, readying
+// the generation for reuse.
+func (l *Log) ResetAll() error {
+	for iv := range l.mu {
+		l.mu[iv].Lock()
+		l.top[iv] = nil
+		l.fill[iv] = 0
+		l.full[iv] = nil
+		l.count[iv] = 0
+		f := l.files[iv]
+		l.mu[iv].Unlock()
+		if f != nil {
+			if err := f.Truncate(); err != nil {
+				return err
+			}
+		}
+	}
+	l.evictMu.Lock()
+	l.buffered = 0
+	l.evictMu.Unlock()
+	l.totalMu.Lock()
+	l.total = 0
+	l.totalMu.Unlock()
+	return nil
+}

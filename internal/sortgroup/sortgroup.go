@@ -1,0 +1,129 @@
+// Package sortgroup implements the sort-and-group unit of §V-B: it loads
+// the update log of a vertex interval from the device, fuses the logs of
+// consecutive intervals while they fit the sort budget (§V-A2), sorts the
+// records in memory by destination vertex, and serves per-vertex message
+// groups to the engine.
+package sortgroup
+
+import (
+	"sort"
+
+	"multilogvc/internal/csr"
+	"multilogvc/internal/mlog"
+	"multilogvc/internal/vc"
+)
+
+// Rec is one update record read back from a log.
+type Rec struct {
+	Dst, Src, Data uint32
+}
+
+// Batch is the sorted, grouped update set of one or more fused intervals.
+type Batch struct {
+	// FirstIv and LastIv delimit the fused interval range [FirstIv, LastIv].
+	FirstIv, LastIv int
+	// Lo and Hi delimit the covered vertex range [Lo, Hi).
+	Lo, Hi uint32
+	// Recs are the updates sorted by destination.
+	Recs []Rec
+}
+
+// LoadFused loads the log of interval startIv and keeps fusing the
+// following intervals' logs while the estimated total record volume stays
+// within sortBudget bytes (always at least one interval). Records are
+// sorted by destination. The per-interval record counters provide the
+// first-order size estimate, as in the paper.
+func LoadFused(log *mlog.Log, ivs []csr.Interval, startIv int, sortBudget int64) (*Batch, error) {
+	last := startIv
+	total := int64(log.Count(startIv)) * mlog.RecordBytes
+	for last+1 < len(ivs) {
+		next := int64(log.Count(last+1)) * mlog.RecordBytes
+		if total+next > sortBudget {
+			break
+		}
+		total += next
+		last++
+	}
+
+	b := &Batch{
+		FirstIv: startIv,
+		LastIv:  last,
+		Lo:      ivs[startIv].Lo,
+		Hi:      ivs[last].Hi,
+		Recs:    make([]Rec, 0, total/mlog.RecordBytes),
+	}
+	for iv := startIv; iv <= last; iv++ {
+		if err := log.Read(iv, func(dst, src, data uint32) {
+			b.Recs = append(b.Recs, Rec{Dst: dst, Src: src, Data: data})
+		}); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(b.Recs, func(i, j int) bool { return b.Recs[i].Dst < b.Recs[j].Dst })
+	return b, nil
+}
+
+// ActiveVertices returns the distinct destinations in the batch, ascending
+// — the paper's ExtractActiveVert.
+func (b *Batch) ActiveVertices() []uint32 {
+	var verts []uint32
+	for i := 0; i < len(b.Recs); {
+		dst := b.Recs[i].Dst
+		verts = append(verts, dst)
+		for i < len(b.Recs) && b.Recs[i].Dst == dst {
+			i++
+		}
+	}
+	return verts
+}
+
+// MsgsFor returns the messages bound for vertex v, optionally reduced by a
+// combiner (the paper's optional combine path: applied to all updates for
+// a target before its processing function runs). The scratch slice is
+// reused across calls; the result aliases it.
+type Grouper struct {
+	batch    *Batch
+	pos      int
+	combiner vc.Combiner
+	scratch  []vc.Msg
+}
+
+// NewGrouper iterates the batch's messages grouped by destination.
+// combiner may be nil.
+func NewGrouper(b *Batch, combiner vc.Combiner) *Grouper {
+	return &Grouper{batch: b, combiner: combiner}
+}
+
+// Next returns the next destination and its messages, or ok=false when the
+// batch is exhausted. Destinations arrive in ascending order. The msgs
+// slice is only valid until the following Next call.
+func (g *Grouper) Next() (dst uint32, msgs []vc.Msg, ok bool) {
+	recs := g.batch.Recs
+	if g.pos >= len(recs) {
+		return 0, nil, false
+	}
+	dst = recs[g.pos].Dst
+	g.scratch = g.scratch[:0]
+	for g.pos < len(recs) && recs[g.pos].Dst == dst {
+		r := recs[g.pos]
+		g.scratch = append(g.scratch, vc.Msg{Src: r.Src, Data: r.Data})
+		g.pos++
+	}
+	msgs = g.scratch
+	if g.combiner != nil && len(msgs) > 1 {
+		acc := msgs[0].Data
+		for _, m := range msgs[1:] {
+			acc = g.combiner.Combine(acc, m.Data)
+		}
+		g.scratch[0] = vc.Msg{Src: msgs[0].Src, Data: acc}
+		msgs = g.scratch[:1]
+	}
+	return dst, msgs, true
+}
+
+// SkipTo advances the grouper so the next Next call returns the first
+// destination >= v.
+func (g *Grouper) SkipTo(v uint32) {
+	recs := g.batch.Recs
+	g.pos += sort.Search(len(recs)-g.pos, func(i int) bool { return recs[g.pos+i].Dst >= v })
+}

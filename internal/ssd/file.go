@@ -1,0 +1,305 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// File is a named extent of pages on a Device.
+//
+// A File has two size notions: NumPages, the number of allocated pages, and
+// Size, the logical byte length written through Append/Writer. Page-level
+// methods (ReadPage, WritePage) address whole pages; byte-level helpers
+// (ReadAt, Append) translate to covering page operations and charge the
+// device accordingly.
+//
+// Files are safe for concurrent use.
+type File struct {
+	dev      *Device
+	name     string
+	chanBase uint32
+
+	mu    sync.Mutex
+	store store
+	size  int64 // logical bytes (append stream length)
+
+	pagesRead    atomic.Uint64
+	pagesWritten atomic.Uint64
+}
+
+// ErrShortBuffer is returned when a destination buffer is not page-sized.
+var ErrShortBuffer = errors.New("ssd: buffer is not a whole page")
+
+// ErrOutOfRange is returned for page indices outside the file.
+var ErrOutOfRange = errors.New("ssd: page index out of range")
+
+// Name returns the file's name on the device.
+func (f *File) Name() string { return f.name }
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.store.numPages()
+}
+
+// Size returns the logical byte length of the append stream.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// SetSize overrides the logical byte length. It is used when re-opening
+// files whose length is recorded in external metadata.
+func (f *File) SetSize(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.size = n
+}
+
+// ReadPage reads page idx into buf, which must be exactly one page long.
+// It charges one page read to the device.
+func (f *File) ReadPage(idx int, buf []byte) error {
+	if len(buf) != f.dev.cfg.PageSize {
+		return ErrShortBuffer
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if idx < 0 || idx >= f.store.numPages() {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, f.store.numPages())
+	}
+	err := f.store.readPage(idx, buf)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	f.pagesRead.Add(1)
+	f.dev.chargeRead(1, 1)
+	return nil
+}
+
+// ReadPages reads the listed pages into dst, which must be
+// len(pages)×PageSize bytes. The pages are submitted as one batch: the
+// virtual clock advances by the busiest channel's queue depth, modelling
+// asynchronous kernel IO over multiple flash channels.
+func (f *File) ReadPages(pages []int, dst []byte) error {
+	ps := f.dev.cfg.PageSize
+	if len(dst) != len(pages)*ps {
+		return ErrShortBuffer
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	np := f.store.numPages()
+	for i, p := range pages {
+		if p < 0 || p >= np {
+			f.mu.Unlock()
+			return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, p, f.name, np)
+		}
+		if err := f.store.readPage(p, dst[i*ps:(i+1)*ps]); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.mu.Unlock()
+	f.pagesRead.Add(uint64(len(pages)))
+	f.dev.chargeRead(len(pages), maxPerChannel(f.chanBase, f.dev.cfg.Channels, pages))
+	return nil
+}
+
+// ReadPageRange reads the contiguous pages [start, start+n) into dst as a
+// single batch.
+func (f *File) ReadPageRange(start, n int, dst []byte) error {
+	ps := f.dev.cfg.PageSize
+	if len(dst) != n*ps {
+		return ErrShortBuffer
+	}
+	if n == 0 {
+		return nil
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	np := f.store.numPages()
+	if start < 0 || start+n > np {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: pages [%d,%d) of %q (%d pages)", ErrOutOfRange, start, start+n, f.name, np)
+	}
+	for i := 0; i < n; i++ {
+		if err := f.store.readPage(start+i, dst[i*ps:(i+1)*ps]); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.mu.Unlock()
+	f.pagesRead.Add(uint64(n))
+	f.dev.chargeRead(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	return nil
+}
+
+// WritePage writes one page at idx. idx may be at most NumPages, in which
+// case the file grows by one page. data must be exactly one page.
+func (f *File) WritePage(idx int, data []byte) error {
+	if len(data) != f.dev.cfg.PageSize {
+		return ErrShortBuffer
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	np := f.store.numPages()
+	if idx < 0 || idx > np {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: write page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, np)
+	}
+	err := f.store.writePage(idx, data)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	f.pagesWritten.Add(1)
+	f.dev.chargeWrite(1, 1)
+	return nil
+}
+
+// WritePageRange writes contiguous pages starting at start as one batch.
+// The range may extend the file.
+func (f *File) WritePageRange(start int, data []byte) error {
+	ps := f.dev.cfg.PageSize
+	if len(data)%ps != 0 {
+		return ErrShortBuffer
+	}
+	n := len(data) / ps
+	if n == 0 {
+		return nil
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	np := f.store.numPages()
+	if start < 0 || start > np {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: write pages at %d of %q (%d pages)", ErrOutOfRange, start, f.name, np)
+	}
+	for i := 0; i < n; i++ {
+		if err := f.store.writePage(start+i, data[i*ps:(i+1)*ps]); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.mu.Unlock()
+	f.pagesWritten.Add(uint64(n))
+	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	return nil
+}
+
+// AppendPage appends one page to the file and returns its index.
+func (f *File) AppendPage(data []byte) (int, error) {
+	if len(data) != f.dev.cfg.PageSize {
+		return 0, ErrShortBuffer
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	idx := f.store.numPages()
+	err := f.store.writePage(idx, data)
+	if err == nil {
+		f.size = int64(idx+1) * int64(f.dev.cfg.PageSize)
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	f.pagesWritten.Add(1)
+	f.dev.chargeWrite(1, 1)
+	return idx, nil
+}
+
+// AppendPages appends len(data)/PageSize pages as one batch and updates
+// the logical size. data must be a whole number of pages.
+func (f *File) AppendPages(data []byte) error {
+	ps := f.dev.cfg.PageSize
+	if len(data)%ps != 0 {
+		return ErrShortBuffer
+	}
+	n := len(data) / ps
+	if n == 0 {
+		return nil
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	start := f.store.numPages()
+	for i := 0; i < n; i++ {
+		if err := f.store.writePage(start+i, data[i*ps:(i+1)*ps]); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.size = int64(start+n) * int64(ps)
+	f.mu.Unlock()
+	f.pagesWritten.Add(uint64(n))
+	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	return nil
+}
+
+// Truncate discards all pages and resets the logical size to zero. Used to
+// recycle log files between supersteps.
+func (f *File) Truncate() error {
+	f.mu.Lock()
+	err := f.store.truncate(0)
+	f.size = 0
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	f.dev.mu.Lock()
+	f.dev.stats.FileTruncates++
+	f.dev.mu.Unlock()
+	return nil
+}
+
+// ReadAt reads len(buf) bytes starting at byte offset off, reading the
+// covering pages as one batch. Bytes past the last allocated page are an
+// error; bytes past Size but within allocated pages read as written.
+func (f *File) ReadAt(buf []byte, off int64) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	ps := int64(f.dev.cfg.PageSize)
+	start := int(off / ps)
+	end := int((off + int64(len(buf)) - 1) / ps)
+	n := end - start + 1
+	tmp := make([]byte, n*int(ps))
+	if err := f.ReadPageRange(start, n, tmp); err != nil {
+		return err
+	}
+	copy(buf, tmp[off-int64(start)*ps:])
+	return nil
+}
+
+// pageCount returns the number of pages covering n logical bytes.
+func pageCount(n int64, pageSize int) int {
+	return int((n + int64(pageSize) - 1) / int64(pageSize))
+}
+
+// DataPages returns the number of pages covering the logical size.
+func (f *File) DataPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return pageCount(f.size, f.dev.cfg.PageSize)
+}

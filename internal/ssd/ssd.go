@@ -1,0 +1,388 @@
+// Package ssd simulates a page-granular flash storage device.
+//
+// The simulator models the two properties of SSDs that MultiLogVC's design
+// reasons about: page-granular access (the minimum read/write unit is one
+// page, typically 16KB) and multi-channel parallelism (pages are striped
+// across independent channels; a batch of page requests completes when the
+// busiest channel drains its queue).
+//
+// A Device hosts named Files. All engines in this repository perform their
+// storage IO through a shared Device, which counts pages and bytes moved
+// and accumulates a virtual storage clock. Because every engine pays the
+// same per-page cost on the same device model, relative performance between
+// engines depends only on how many pages they touch and how well they batch
+// — exactly the quantities the paper's evaluation varies.
+//
+// Files may be backed by RAM (fast, for tests and benchmarks) or by real
+// files in a directory (for the CLI tools). The accounting is identical for
+// both backings.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultPageSize is the SSD page size used throughout the paper (16KB).
+const DefaultPageSize = 16 * 1024
+
+// Config describes a simulated device.
+type Config struct {
+	// PageSize is the read/write granularity in bytes. Defaults to 16KB.
+	PageSize int
+	// Channels is the number of independent flash channels pages are
+	// striped across. Defaults to 8.
+	Channels int
+	// PageReadLatency is the service time for one page read on one
+	// channel. Defaults to 50µs (≈ 16KB at ~320MB/s per channel).
+	PageReadLatency time.Duration
+	// PageWriteLatency is the service time for one page program on one
+	// channel. Defaults to 70µs.
+	PageWriteLatency time.Duration
+	// Dir, if non-empty, backs files with real files in this directory.
+	// Otherwise files live in RAM.
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = DefaultPageSize
+	}
+	if c.Channels <= 0 {
+		c.Channels = 8
+	}
+	if c.PageReadLatency <= 0 {
+		c.PageReadLatency = 50 * time.Microsecond
+	}
+	if c.PageWriteLatency <= 0 {
+		c.PageWriteLatency = 70 * time.Microsecond
+	}
+	return c
+}
+
+// Stats is a snapshot of the device counters.
+type Stats struct {
+	PagesRead     uint64
+	PagesWritten  uint64
+	BytesRead     uint64
+	BytesWritten  uint64
+	BatchReads    uint64 // number of read batch submissions
+	BatchWrites   uint64
+	ReadTime      time.Duration // virtual time spent reading
+	WriteTime     time.Duration // virtual time spent writing
+	FilesCreated  uint64
+	FilesRemoved  uint64
+	FileTruncates uint64
+}
+
+// StorageTime returns the total virtual time charged to the device.
+func (s Stats) StorageTime() time.Duration { return s.ReadTime + s.WriteTime }
+
+// Sub returns s - t, counter-wise. Useful for measuring a phase:
+// take a snapshot before and after, then Sub.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		PagesRead:     s.PagesRead - t.PagesRead,
+		PagesWritten:  s.PagesWritten - t.PagesWritten,
+		BytesRead:     s.BytesRead - t.BytesRead,
+		BytesWritten:  s.BytesWritten - t.BytesWritten,
+		BatchReads:    s.BatchReads - t.BatchReads,
+		BatchWrites:   s.BatchWrites - t.BatchWrites,
+		ReadTime:      s.ReadTime - t.ReadTime,
+		WriteTime:     s.WriteTime - t.WriteTime,
+		FilesCreated:  s.FilesCreated - t.FilesCreated,
+		FilesRemoved:  s.FilesRemoved - t.FilesRemoved,
+		FileTruncates: s.FileTruncates - t.FileTruncates,
+	}
+}
+
+// Device is a simulated multi-channel SSD hosting named files.
+type Device struct {
+	cfg Config
+
+	mu        sync.Mutex
+	files     map[string]*File
+	stats     Stats
+	failAfter int64 // remaining ops before injected failures; -1 = off
+	failErr   error
+}
+
+// ErrInjected is the default error produced by FailAfter.
+var ErrInjected = errors.New("ssd: injected device failure")
+
+// FailAfter arms fault injection: the next n page operations (reads,
+// writes, appends) succeed, then every subsequent operation fails with
+// err (ErrInjected when nil). Pass a negative n to disarm. Used by the
+// failure-injection tests to verify engines propagate device errors
+// instead of panicking or corrupting results.
+func (d *Device) FailAfter(n int64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	d.mu.Lock()
+	if n < 0 {
+		d.failAfter = -1
+		d.failErr = nil
+	} else {
+		d.failAfter = n
+		d.failErr = err
+	}
+	d.mu.Unlock()
+}
+
+// faultCheck consumes one operation credit; it returns the injected error
+// once the credits run out.
+func (d *Device) faultCheck() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failErr == nil {
+		return nil
+	}
+	if d.failAfter > 0 {
+		d.failAfter--
+		return nil
+	}
+	return d.failErr
+}
+
+// ErrNotExist is returned when opening or removing a file that does not
+// exist on the device.
+var ErrNotExist = errors.New("ssd: file does not exist")
+
+// ErrExist is returned when creating a file that already exists.
+var ErrExist = errors.New("ssd: file already exists")
+
+// Open creates a Device with the given configuration. A disk-backed
+// device (Dir set) adopts the files already present in the directory, so
+// graphs built by an earlier process can be reopened (see csr.Open).
+func Open(cfg Config) (*Device, error) {
+	cfg = cfg.withDefaults()
+	d := &Device{cfg: cfg, files: make(map[string]*File)}
+	if cfg.Dir != "" {
+		if err := d.adoptDir(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// adoptDir registers every regular file under the backing directory.
+func (d *Device) adoptDir() error {
+	root := d.cfg.Dir
+	if _, err := os.Stat(root); os.IsNotExist(err) {
+		return nil
+	}
+	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		st, err := newDiskStore(root, name, d.cfg.PageSize)
+		if err != nil {
+			return err
+		}
+		f := &File{dev: d, name: name, chanBase: nameHash(name), store: st}
+		// Without external metadata the best logical-size guess is the
+		// allocated extent; csr.Open overrides it from its meta file.
+		f.size = int64(st.numPages()) * int64(d.cfg.PageSize)
+		d.files[name] = f
+		return nil
+	})
+}
+
+// MustOpen is Open that panics on error; convenient in tests and examples.
+func MustOpen(cfg Config) *Device {
+	d, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// PageSize returns the device page size in bytes.
+func (d *Device) PageSize() int { return d.cfg.PageSize }
+
+// Channels returns the number of flash channels.
+func (d *Device) Channels() int { return d.cfg.Channels }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes all device counters.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// Create creates a new empty file. It fails if the name is taken.
+func (d *Device) Create(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExist, name)
+	}
+	st, err := d.newStore(name)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{dev: d, name: name, chanBase: nameHash(name), store: st}
+	d.files[name] = f
+	d.stats.FilesCreated++
+	return f, nil
+}
+
+// OpenFile returns an existing file by name.
+func (d *Device) OpenFile(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	return f, nil
+}
+
+// OpenOrCreate returns the named file, creating it if necessary.
+func (d *Device) OpenOrCreate(name string) (*File, error) {
+	d.mu.Lock()
+	if f, ok := d.files[name]; ok {
+		d.mu.Unlock()
+		return f, nil
+	}
+	d.mu.Unlock()
+	return d.Create(name)
+}
+
+// Remove deletes a file and releases its pages.
+func (d *Device) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, name)
+	}
+	delete(d.files, name)
+	d.stats.FilesRemoved++
+	return f.store.close()
+}
+
+// Exists reports whether a file with the given name exists.
+func (d *Device) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// ListFiles returns the names of all files on the device, sorted.
+func (d *Device) ListFiles() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (d *Device) newStore(name string) (store, error) {
+	if d.cfg.Dir != "" {
+		return newDiskStore(d.cfg.Dir, name, d.cfg.PageSize)
+	}
+	return newMemStore(d.cfg.PageSize), nil
+}
+
+// FileStats is the per-file IO counter pair.
+type FileStats struct {
+	PagesRead    uint64
+	PagesWritten uint64
+}
+
+// StatsByFile returns per-file page counters, keyed by file name. Useful
+// for attributing traffic to graph data versus logs versus values.
+func (d *Device) StatsByFile() map[string]FileStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]FileStats, len(d.files))
+	for name, f := range d.files {
+		out[name] = FileStats{
+			PagesRead:    f.pagesRead.Load(),
+			PagesWritten: f.pagesWritten.Load(),
+		}
+	}
+	return out
+}
+
+// chargeRead charges a batch of page reads to the virtual clock.
+// pagesPerChan[i] is the number of pages queued on channel i; the batch
+// completes when the busiest channel drains.
+func (d *Device) chargeRead(npages int, maxOnChan int) {
+	d.mu.Lock()
+	d.stats.PagesRead += uint64(npages)
+	d.stats.BytesRead += uint64(npages) * uint64(d.cfg.PageSize)
+	d.stats.BatchReads++
+	d.stats.ReadTime += time.Duration(maxOnChan) * d.cfg.PageReadLatency
+	d.mu.Unlock()
+}
+
+func (d *Device) chargeWrite(npages int, maxOnChan int) {
+	d.mu.Lock()
+	d.stats.PagesWritten += uint64(npages)
+	d.stats.BytesWritten += uint64(npages) * uint64(d.cfg.PageSize)
+	d.stats.BatchWrites++
+	d.stats.WriteTime += time.Duration(maxOnChan) * d.cfg.PageWriteLatency
+	d.mu.Unlock()
+}
+
+// maxPerChannel computes the depth of the busiest channel for a set of
+// page indices belonging to a file whose stripe base is chanBase.
+func maxPerChannel(chanBase uint32, channels int, pages []int) int {
+	if len(pages) == 0 {
+		return 0
+	}
+	if len(pages) == 1 {
+		return 1
+	}
+	counts := make([]int, channels)
+	maxc := 0
+	for _, p := range pages {
+		c := int((chanBase + uint32(p)) % uint32(channels))
+		counts[c]++
+		if counts[c] > maxc {
+			maxc = counts[c]
+		}
+	}
+	return maxc
+}
+
+// maxPerChannelRange is maxPerChannel for the contiguous range
+// [start, start+n). Contiguous pages stripe round-robin, so the busiest
+// channel holds ceil(n/channels) pages.
+func maxPerChannelRange(n, channels int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + channels - 1) / channels
+}
+
+func nameHash(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}

@@ -1,0 +1,117 @@
+package ssd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// store is the backing for a file's pages. Implementations are not
+// concurrency-safe; File serializes access.
+type store interface {
+	readPage(idx int, buf []byte) error
+	writePage(idx int, data []byte) error // idx == numPages() extends
+	numPages() int
+	truncate(pages int) error
+	close() error
+}
+
+// memStore keeps pages in RAM.
+type memStore struct {
+	pageSize int
+	pages    [][]byte
+}
+
+func newMemStore(pageSize int) *memStore {
+	return &memStore{pageSize: pageSize}
+}
+
+func (m *memStore) readPage(idx int, buf []byte) error {
+	copy(buf, m.pages[idx])
+	return nil
+}
+
+func (m *memStore) writePage(idx int, data []byte) error {
+	if idx == len(m.pages) {
+		p := make([]byte, m.pageSize)
+		copy(p, data)
+		m.pages = append(m.pages, p)
+		return nil
+	}
+	copy(m.pages[idx], data)
+	return nil
+}
+
+func (m *memStore) numPages() int { return len(m.pages) }
+
+func (m *memStore) truncate(pages int) error {
+	if pages < len(m.pages) {
+		m.pages = m.pages[:pages]
+	}
+	return nil
+}
+
+func (m *memStore) close() error {
+	m.pages = nil
+	return nil
+}
+
+// diskStore keeps pages in a real file, for the CLI tools.
+type diskStore struct {
+	pageSize int
+	f        *os.File
+	npages   int
+}
+
+func newDiskStore(dir, name string, pageSize int) (*diskStore, error) {
+	path := filepath.Join(dir, sanitize(name))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("ssd: mkdir for %q: %w", name, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ssd: open backing for %q: %w", name, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &diskStore{pageSize: pageSize, f: f, npages: int(st.Size()) / pageSize}, nil
+}
+
+func (d *diskStore) readPage(idx int, buf []byte) error {
+	_, err := d.f.ReadAt(buf, int64(idx)*int64(d.pageSize))
+	return err
+}
+
+func (d *diskStore) writePage(idx int, data []byte) error {
+	if _, err := d.f.WriteAt(data, int64(idx)*int64(d.pageSize)); err != nil {
+		return err
+	}
+	if idx >= d.npages {
+		d.npages = idx + 1
+	}
+	return nil
+}
+
+func (d *diskStore) numPages() int { return d.npages }
+
+func (d *diskStore) truncate(pages int) error {
+	if err := d.f.Truncate(int64(pages) * int64(d.pageSize)); err != nil {
+		return err
+	}
+	if pages < d.npages {
+		d.npages = pages
+	}
+	return nil
+}
+
+func (d *diskStore) close() error { return d.f.Close() }
+
+// sanitize maps a device file name to a filesystem-safe relative path.
+func sanitize(name string) string {
+	r := strings.NewReplacer("..", "_", ":", "_", "\\", "_")
+	return r.Replace(name)
+}
