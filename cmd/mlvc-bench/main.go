@@ -7,6 +7,7 @@
 //	mlvc-bench -size small -exp all
 //	mlvc-bench -size tiny  -exp fig5,fig6
 //	mlvc-bench -exp all -out results.txt
+//	mlvc-bench -exp fig6 -json reports/ -listen :6060
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"multilogvc/internal/harness"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/obsv"
 )
 
 func main() {
@@ -27,7 +29,37 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,adapted,ablation,extended,iobreakdown")
 	out := flag.String("out", "", "also write results to this file")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	jsonDir := flag.String("json", "", "write every engine run's report as JSON into this directory")
+	listen := flag.String("listen", "", "serve expvar live metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *listen != "" {
+		addr, _, err := obsv.Serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlvc-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mlvc-bench:", err)
+			os.Exit(1)
+		}
+		seq := 0
+		harness.ReportSink = func(r *metrics.Report) {
+			seq++
+			data, err := r.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mlvc-bench: json report:", err)
+				return
+			}
+			name := fmt.Sprintf("%04d-%s-%s-%s.json", seq, r.Engine, r.App, r.Graph)
+			if err := os.WriteFile(filepath.Join(*jsonDir, name), append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "mlvc-bench: json report:", err)
+			}
+		}
+	}
 
 	var sz harness.Size
 	switch *size {

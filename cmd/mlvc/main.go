@@ -22,6 +22,7 @@ import (
 	multilogvc "multilogvc"
 	"multilogvc/internal/graphio"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/obsv"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func usage() {
   mlvc run   -graph FILE -app NAME -engine NAME [-steps N] [-mem BYTES]
              [-source V] [-weighted] [-async] [-k N]
              [-no-edgelog] [-no-combiner] [-per-superstep]
+             [-trace out.json] [-json report.json] [-listen :6060]
   mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)`)
 }
 
@@ -187,7 +189,18 @@ func cmdRun(args []string) error {
 	weighted := fs.Bool("weighted", false, "attach deterministic pseudo-random edge weights [1,16]")
 	kcoreK := fs.Uint("k", 3, "kcore: minimum degree k")
 	perStep := fs.Bool("per-superstep", false, "print per-superstep stats")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span trace (Perfetto-loadable)")
+	jsonPath := fs.String("json", "", "write the run report as JSON")
+	listen := fs.String("listen", "", "serve expvar live metrics and pprof on this address (e.g. :6060)")
 	fs.Parse(args)
+
+	if *listen != "" {
+		addr, _, err := obsv.Serve(*listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug endpoint on http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
+	}
 
 	engine, err := multilogvc.ParseEngine(*engName)
 	if err != nil {
@@ -235,17 +248,46 @@ func cmdRun(args []string) error {
 			g.NumVertices(), g.NumEdges(), g.Intervals(), time.Since(buildStart).Seconds())
 	}
 
+	var trace *multilogvc.Trace
+	if *tracePath != "" {
+		trace = multilogvc.NewTrace()
+	}
 	res, err := g.Run(prog, multilogvc.RunOptions{
 		Engine:          engine,
 		MaxSupersteps:   *steps,
 		DisableEdgeLog:  *noEdgeLog,
 		DisableCombiner: *noCombiner,
 		Async:           *async,
+		Trace:           trace,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Report)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d spans to %s (load in ui.perfetto.dev)\n", trace.Len(), *tracePath)
+	}
+	if *jsonPath != "" {
+		data, err := res.Report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
 	if *perStep {
 		t := &metrics.Table{
 			Title:   "per-superstep",

@@ -29,6 +29,7 @@ import (
 	"multilogvc/internal/edgelog"
 	"multilogvc/internal/metrics"
 	"multilogvc/internal/mlog"
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/sortgroup"
 	"multilogvc/internal/vc"
 )
@@ -73,6 +74,11 @@ type Config struct {
 	// the cumulative number of vertex activations; returning true ends
 	// the run (used by the BFS traversal-fraction experiments).
 	StopAfter func(superstep int, cumProcessed uint64) bool
+	// Trace, when non-nil, receives begin/end spans for every superstep
+	// and per-batch stage (load+sort, value/adjacency loads, vertex
+	// processing, edge-log relog, flushes). A nil Trace costs one pointer
+	// test per stage.
+	Trace *obsv.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +161,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	if cfg.DisableFusing {
 		sortBudget = 1 // every batch covers exactly one interval
 	}
+	tr := cfg.Trace
 	curLog, err := mlog.New(dev, name+".mlog.0", len(ivs), mlogBudget)
 	if err != nil {
 		return nil, err
@@ -163,6 +170,8 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	curLog.SetTracer(tr)
+	nextLog.SetTracer(tr)
 
 	var elog *edgelog.EdgeLog
 	var pred *edgelog.Predictor
@@ -171,6 +180,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		elog.SetTracer(tr)
 		pred = edgelog.NewPredictor(n, dev.PageSize(), cfg.UtilThreshold)
 	}
 	elogBudget := cfg.MemoryBudget * int64(cfg.ELogPct) / 100
@@ -192,6 +202,8 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 
 	var cumProcessed uint64
 	converged := false
+	live := obsv.Live()
+	live.Runs.Add(1)
 
 	for step := 0; step < cfg.MaxSupersteps; step++ {
 		var stepMuts []vc.Mutation
@@ -202,12 +214,22 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		stepStart := time.Now()
 		devBefore := dev.Stats()
 		ss := metrics.SuperstepStats{Superstep: step}
+		ss.MsgSkew = intervalSkew(curLog, len(ivs))
+		stepSpan := tr.Begin("engine", "superstep")
+		stepSpan.Arg("step", int64(step))
 
 		for ivStart := 0; ivStart < len(ivs); {
+			loadSpan := tr.Begin("engine", "load+sort")
 			batch, err := sortgroup.LoadFused(curLog, ivs, ivStart, sortBudget)
 			if err != nil {
 				return nil, err
 			}
+			loadSpan.Arg("first_iv", int64(batch.FirstIv))
+			loadSpan.Arg("last_iv", int64(batch.LastIv))
+			loadSpan.Arg("records", int64(len(batch.Recs)))
+			loadSpan.End()
+			procSpan := tr.Begin("engine", "process-batch")
+			procSpan.Arg("first_iv", int64(batch.FirstIv))
 			if err := e.processBatch(&batchRun{
 				prog: prog, combiner: combiner, aux: aux, isAux: isAux,
 				values: values, batch: batch, carry: carry, step: step,
@@ -217,6 +239,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			}); err != nil {
 				return nil, err
 			}
+			procSpan.End()
 			ivStart = batch.LastIv + 1
 		}
 
@@ -238,6 +261,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			}
 		}
 
+		flushSpan := tr.Begin("engine", "flush-logs")
 		if err := nextLog.FlushAll(); err != nil {
 			return nil, err
 		}
@@ -256,14 +280,26 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		if err := nextLog.ResetAll(); err != nil {
 			return nil, err
 		}
+		flushSpan.End()
 
 		devDelta := dev.Stats().Sub(devBefore)
 		ss.PagesRead = devDelta.PagesRead
 		ss.PagesWritten = devDelta.PagesWritten
 		ss.StorageTime = devDelta.StorageTime()
 		ss.ComputeTime = time.Since(stepStart)
+		ss.ReadBatchPages = devDelta.ReadBatchPages
+		ss.WriteBatchPages = devDelta.WriteBatchPages
+		ss.ReadLatencyUS = devDelta.ReadLatencyUS
+		ss.WriteLatencyUS = devDelta.WriteLatencyUS
 		cumProcessed += ss.Active
 		report.Supersteps = append(report.Supersteps, ss)
+
+		stepSpan.Arg("active", int64(ss.Active))
+		stepSpan.Arg("msgs_sent", int64(ss.MsgsSent))
+		stepSpan.Arg("pages_read", int64(ss.PagesRead))
+		stepSpan.Arg("pages_written", int64(ss.PagesWritten))
+		stepSpan.End()
+		publishLive(live, &ss)
 
 		if cfg.StopAfter != nil && cfg.StopAfter(step, cumProcessed) {
 			break
@@ -333,13 +369,19 @@ func (e *Engine) processBatch(br *batchRun) error {
 		}
 	}
 
+	tr := e.cfg.Trace
+
 	// Load values for exactly the covering pages of the active set.
+	valSpan := tr.Begin("engine", "load-values")
+	valSpan.Arg("verts", int64(len(verts)))
 	vb, _, err := br.values.LoadForVerts(verts)
 	if err != nil {
 		return err
 	}
+	valSpan.End()
 
 	// Split adjacency sources: edge log vs CSR, then load both.
+	adjSpan := tr.Begin("engine", "load-adjacency")
 	adj := make(map[uint32]*adjEntry, len(verts))
 	var fromLog []uint32
 	perIv := make(map[int][]uint32)
@@ -403,7 +445,15 @@ func (e *Engine) processBatch(br *batchRun) error {
 		}
 	}
 
+	adjSpan.Arg("from_elog", int64(len(fromLog)))
+	adjSpan.Arg("from_csr", int64(len(verts)-len(fromLog)))
+	adjSpan.End()
+
 	// Aux state for AuxUser programs.
+	var auxSpan obsv.Span
+	if br.isAux {
+		auxSpan = tr.Begin("engine", "load-aux")
+	}
 	var auxBatches map[int]*csr.AuxBatch
 	inSources := make(map[uint32][]uint32)
 	if br.isAux {
@@ -435,6 +485,8 @@ func (e *Engine) processBatch(br *batchRun) error {
 		}
 	}
 
+	auxSpan.End()
+
 	// Per-vertex message ranges within the sorted record slice.
 	msgRange := make([][2]int, len(verts))
 	recs := batch.Recs
@@ -451,6 +503,8 @@ func (e *Engine) processBatch(br *batchRun) error {
 	}
 
 	// Process vertices in parallel chunks.
+	procSpan := tr.Begin("engine", "process-vertices")
+	procSpan.Arg("verts", int64(len(verts)))
 	workers := e.cfg.Workers
 	if workers > len(verts) {
 		workers = len(verts)
@@ -508,6 +562,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 		*br.muts = append(*br.muts, wm...)
 	}
 	br.ss.MsgsSent += sent.Load()
+	procSpan.End()
 
 	// Update the carry set: processed vertices stay live unless halted.
 	for i, v := range verts {
@@ -518,6 +573,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 	// concurrent): log CSR-served vertices predicted active whose pages
 	// were inefficient, within the edge-log buffer budget.
 	if br.elog != nil {
+		relogSpan := tr.Begin("engine", "edgelog-relog")
 		for _, v := range verts {
 			a := adj[v]
 			if a == nil || a.fromElog || len(a.nbrs) == 0 || !a.pageIneff {
@@ -534,9 +590,12 @@ func (e *Engine) processBatch(br *batchRun) error {
 			}
 			br.ss.EdgeLogPagesWrite++ // approximate: accounted precisely at flush
 		}
+		relogSpan.Arg("logged_bytes", br.elog.LoggedBytes())
+		relogSpan.End()
 	}
 
 	// Write dirty value pages and aux pages back.
+	flushSpan := tr.Begin("engine", "flush-values")
 	if _, err := vb.Flush(); err != nil {
 		return err
 	}
@@ -545,6 +604,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 			return err
 		}
 	}
+	flushSpan.End()
 	return nil
 }
 
@@ -620,6 +680,40 @@ func (c *engineCtx) Aux() []uint32 {
 		return ab.Get(c.vertex)
 	}
 	return nil
+}
+
+// intervalSkew measures how unevenly the superstep's incoming messages
+// spread over the vertex intervals: the busiest interval's log volume over
+// the mean across all intervals. 1.0 is perfectly balanced; 0 means no
+// messages flowed (a carry-only superstep).
+func intervalSkew(log *mlog.Log, numIntervals int) float64 {
+	var maxC, sumC uint64
+	for iv := 0; iv < numIntervals; iv++ {
+		c := log.Count(iv)
+		sumC += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if sumC == 0 {
+		return 0
+	}
+	return float64(maxC) * float64(numIntervals) / float64(sumC)
+}
+
+// publishLive pushes the finished superstep onto the process-wide expvar
+// gauges — a handful of atomic stores, cheap enough to run unconditionally
+// so a debug listener attached mid-run sees live state.
+func publishLive(live *obsv.LiveVars, ss *metrics.SuperstepStats) {
+	live.Superstep.Set(int64(ss.Superstep))
+	live.Active.Set(int64(ss.Active))
+	live.PagesRead.Add(int64(ss.PagesRead))
+	live.PagesWritten.Add(int64(ss.PagesWritten))
+	live.MsgsSent.Add(int64(ss.MsgsSent))
+	live.MsgSkew.Set(ss.MsgSkew)
+	if adj := ss.ColIdxPagesRead + ss.EdgeLogPagesRead; adj > 0 {
+		live.EdgeLogHitRate.Set(float64(ss.EdgeLogPagesRead) / float64(adj))
+	}
 }
 
 func sortedDedup(s []uint32) []uint32 {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/obsv"
+)
+
+// TestEngineTraceSpans runs a traced PageRank and checks the span stream
+// matches the report: one superstep span per recorded superstep, every
+// engine-stage span nested inside a superstep span on tid 1, and per-batch
+// stage spans present.
+func TestEngineTraceSpans(t *testing.T) {
+	edges, n := rmatEdges(t, 8, 6, 31)
+	g := buildGraph(t, edges, n, 2048)
+	tr := obsv.NewTrace()
+	eng := New(g, Config{MaxSupersteps: 5, Trace: tr})
+	res, err := eng.Run(&apps.PageRank{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	var steps []obsv.Event
+	stages := map[string]int{}
+	for _, ev := range evs {
+		if ev.Cat != "engine" {
+			continue
+		}
+		if ev.Name == "superstep" {
+			steps = append(steps, ev)
+		} else {
+			stages[ev.Name]++
+		}
+	}
+	if len(steps) != len(res.Report.Supersteps) {
+		t.Fatalf("%d superstep spans, report has %d supersteps", len(steps), len(res.Report.Supersteps))
+	}
+	for _, name := range []string{"load+sort", "process-batch", "process-vertices", "load-values", "load-adjacency", "flush-values", "flush-logs"} {
+		if stages[name] == 0 {
+			t.Errorf("no %q spans recorded", name)
+		}
+	}
+
+	// Every tid-1 stage span must fall inside exactly one superstep span.
+	for _, ev := range evs {
+		if ev.Tid != 1 || ev.Name == "superstep" {
+			continue
+		}
+		contained := false
+		for _, st := range steps {
+			if ev.Start >= st.Start && ev.Start+ev.Dur <= st.Start+st.Dur {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			t.Fatalf("stage span %q [%v,+%v] outside every superstep span", ev.Name, ev.Start, ev.Dur)
+		}
+	}
+
+	// Superstep spans carry step/active/pages args.
+	for k, want := range map[string]bool{"step": true, "active": true, "pages_read": true} {
+		found := false
+		for _, a := range steps[0].Args {
+			if a.Key == k {
+				found = true
+			}
+		}
+		if want && !found {
+			t.Errorf("superstep span missing %q arg", k)
+		}
+	}
+}
+
+// TestEngineNilTraceMatchesTraced makes sure tracing is observational only:
+// the same run with and without a tracer produces identical values.
+func TestEngineNilTraceMatchesTraced(t *testing.T) {
+	edges, n := rmatEdges(t, 8, 6, 31)
+
+	run := func(tr *obsv.Trace) []uint32 {
+		g := buildGraph(t, edges, n, 2048)
+		eng := New(g, Config{MaxSupersteps: 5, Trace: tr})
+		res, err := eng.Run(&apps.PageRank{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Values
+	}
+
+	plain := run(nil)
+	traced := run(obsv.NewTrace())
+	if len(plain) != len(traced) {
+		t.Fatalf("value count %d != %d", len(plain), len(traced))
+	}
+	for v := range plain {
+		if plain[v] != traced[v] {
+			t.Fatalf("value[%d] differs: %d (untraced) vs %d (traced)", v, plain[v], traced[v])
+		}
+	}
+}
+
+// TestEngineHistogramsPopulated checks the per-superstep device histograms
+// carry observations consistent with the page counters.
+func TestEngineHistogramsPopulated(t *testing.T) {
+	edges, n := rmatEdges(t, 8, 6, 31)
+	g := buildGraph(t, edges, n, 2048)
+	eng := New(g, Config{MaxSupersteps: 3})
+	res, err := eng.Run(&apps.PageRank{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ss := range res.Report.Supersteps {
+		if ss.PagesRead > 0 && ss.ReadBatchPages.N == 0 {
+			t.Fatalf("superstep %d read %d pages but ReadBatchPages is empty", ss.Superstep, ss.PagesRead)
+		}
+		if ss.PagesRead > 0 && ss.ReadBatchPages.Sum != ss.PagesRead {
+			t.Fatalf("superstep %d: ReadBatchPages.Sum=%d, PagesRead=%d", ss.Superstep, ss.ReadBatchPages.Sum, ss.PagesRead)
+		}
+		if ss.PagesWritten > 0 && ss.WriteBatchPages.Sum != ss.PagesWritten {
+			t.Fatalf("superstep %d: WriteBatchPages.Sum=%d, PagesWritten=%d", ss.Superstep, ss.WriteBatchPages.Sum, ss.PagesWritten)
+		}
+		if ss.PagesRead > 0 && ss.ReadLatencyUS.N != ss.ReadBatchPages.N {
+			t.Fatalf("superstep %d: latency observations %d != batch observations %d", ss.Superstep, ss.ReadLatencyUS.N, ss.ReadBatchPages.N)
+		}
+		// MsgSkew measures the incoming message distribution, i.e. what the
+		// previous superstep sent; 1.0 is perfectly balanced.
+		if i > 0 && res.Report.Supersteps[i-1].MsgsSent > 0 && ss.MsgSkew < 1 {
+			t.Fatalf("superstep %d: MsgSkew=%f with %d incoming messages (must be >= 1)", ss.Superstep, ss.MsgSkew, res.Report.Supersteps[i-1].MsgsSent)
+		}
+	}
+}

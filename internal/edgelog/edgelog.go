@@ -17,6 +17,7 @@ import (
 
 	"multilogvc/internal/bitset"
 	"multilogvc/internal/csr"
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/ssd"
 )
 
@@ -136,7 +137,13 @@ type EdgeLog struct {
 	index   [2]map[uint32]entry
 	writer  *ssd.Writer
 	written int64
+
+	tr *obsv.Trace // nil = tracing disabled
 }
+
+// SetTracer attaches a span tracer; generation swaps emit spans on it.
+// A nil tracer (the default) disables tracing.
+func (e *EdgeLog) SetTracer(tr *obsv.Trace) { e.tr = tr }
 
 type entry struct {
 	off int64
@@ -272,6 +279,12 @@ func (e *EdgeLog) Load(verts []uint32, visit func(v uint32, nbrs, weights []uint
 // EndSuperstep flushes the next generation to the device and swaps
 // generations; the old current generation is truncated for reuse.
 func (e *EdgeLog) EndSuperstep() error {
+	// Tid 3 is the edge-log unit's trace timeline (engine stages own tid 1,
+	// the multi-log unit tid 2).
+	sp := e.tr.BeginTid("elog", "end-superstep", 3)
+	sp.Arg("logged_bytes", e.written)
+	sp.Arg("logged_verts", int64(len(e.index[1-e.gen])))
+	defer sp.End()
 	if err := e.writer.Close(); err != nil {
 		return err
 	}

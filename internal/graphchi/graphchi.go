@@ -185,6 +185,10 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		ss.PagesRead = devDelta.PagesRead
 		ss.PagesWritten = devDelta.PagesWritten
 		ss.StorageTime = devDelta.StorageTime()
+		ss.ReadBatchPages = devDelta.ReadBatchPages
+		ss.WriteBatchPages = devDelta.WriteBatchPages
+		ss.ReadLatencyUS = devDelta.ReadLatencyUS
+		ss.WriteLatencyUS = devDelta.WriteLatencyUS
 		ss.ComputeTime = time.Since(stepStart)
 		cumProcessed += ss.Active
 		report.Supersteps = append(report.Supersteps, ss)

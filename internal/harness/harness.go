@@ -18,6 +18,18 @@ import (
 	"multilogvc/internal/vc"
 )
 
+// ReportSink, when non-nil, receives every engine run report the harness
+// produces, in completion order. mlvc-bench wires it to a per-run JSON
+// writer (-json DIR) so benchmark trajectories are machine-readable
+// instead of being parsed back out of text tables.
+var ReportSink func(*metrics.Report)
+
+func emitReport(r *metrics.Report) {
+	if ReportSink != nil {
+		ReportSink(r)
+	}
+}
+
 // Dataset is a named edge list.
 type Dataset struct {
 	Name  string
@@ -201,6 +213,7 @@ func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: multilogvc/%s on %s: %w", prog.Name(), env.DS.Name, err)
 	}
+	emitReport(res.Report)
 	return res.Report, res.Values, nil
 }
 
@@ -215,6 +228,7 @@ func RunGraphChi(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint3
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: graphchi/%s on %s: %w", prog.Name(), env.DS.Name, err)
 	}
+	emitReport(res.Report)
 	return res.Report, res.Values, nil
 }
 
@@ -231,6 +245,7 @@ func RunGraFBoost(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: grafboost/%s on %s: %w", prog.Name(), env.DS.Name, err)
 	}
+	emitReport(res.Report)
 	return res.Report, res.Values, nil
 }
 
@@ -275,5 +290,6 @@ func RunGraphChiWeighted(env *Env, wedges []graphio.WeightedEdge, prog vc.Progra
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: graphchi-w/%s on %s: %w", prog.Name(), env.DS.Name, err)
 	}
+	emitReport(res.Report)
 	return res.Report, res.Values, nil
 }

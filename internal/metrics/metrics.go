@@ -8,32 +8,49 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
+
+	"multilogvc/internal/obsv"
 )
 
 // SuperstepStats measures one superstep of one engine run.
 type SuperstepStats struct {
-	Superstep int
+	Superstep int `json:"superstep"`
 
-	Active        uint64 // vertices processed
-	MsgsSent      uint64
-	MsgsDelivered uint64
+	Active        uint64 `json:"active"` // vertices processed
+	MsgsSent      uint64 `json:"msgs_sent"`
+	MsgsDelivered uint64 `json:"msgs_delivered"`
 
-	PagesRead    uint64
-	PagesWritten uint64
-	StorageTime  time.Duration
-	ComputeTime  time.Duration
+	PagesRead    uint64        `json:"pages_read"`
+	PagesWritten uint64        `json:"pages_written"`
+	StorageTime  time.Duration `json:"storage_ns"`
+	ComputeTime  time.Duration `json:"compute_ns"`
 
 	// MultiLogVC-specific accounting (zero for other engines).
-	ColIdxPagesRead   uint64 // graph adjacency pages fetched from CSR
-	EdgeLogPagesRead  uint64 // adjacency served from the edge log instead
-	EdgeLogPagesWrite uint64
-	InefficientPages  uint64 // colidx pages with >0% and <10% utilization
-	PredictedIneff    uint64 // pages the edge-log optimizer predicted inefficient
-	CorrectPredicted  uint64 // predictions that were inefficient again
-	UtilPagesTouched  uint64 // distinct colidx pages whose utilization was measured
+	ColIdxPagesRead   uint64 `json:"colidx_pages_read,omitempty"`  // graph adjacency pages fetched from CSR
+	EdgeLogPagesRead  uint64 `json:"edgelog_pages_read,omitempty"` // adjacency served from the edge log instead
+	EdgeLogPagesWrite uint64 `json:"edgelog_pages_write,omitempty"`
+	InefficientPages  uint64 `json:"inefficient_pages,omitempty"`  // colidx pages with >0% and <10% utilization
+	PredictedIneff    uint64 `json:"predicted_ineff,omitempty"`    // pages the edge-log optimizer predicted inefficient
+	CorrectPredicted  uint64 `json:"correct_predicted,omitempty"`  // predictions that were inefficient again
+	UtilPagesTouched  uint64 `json:"util_pages_touched,omitempty"` // distinct colidx pages whose utilization was measured
+
+	// MsgSkew is the per-interval message imbalance of the superstep:
+	// max interval log volume over the mean across all intervals (1.0 =
+	// perfectly balanced; 0 when no messages flowed). Engines that do not
+	// partition by interval leave it 0.
+	MsgSkew float64 `json:"msg_skew,omitempty"`
+
+	// Device-level distributions for the superstep (deltas of the
+	// device's power-of-two histograms; see ssd.Stats).
+	ReadBatchPages  obsv.Hist `json:"read_batch_pages"`
+	WriteBatchPages obsv.Hist `json:"write_batch_pages"`
+	ReadLatencyUS   obsv.Hist `json:"read_latency_us"`
+	WriteLatencyUS  obsv.Hist `json:"write_latency_us"`
 }
 
 // Total returns storage + compute time for the superstep.
@@ -58,8 +75,17 @@ type Report struct {
 // TotalTime is the modeled run time: storage (virtual) + compute (host).
 func (r *Report) TotalTime() time.Duration { return r.StorageTime + r.ComputeTime }
 
-// Finish accumulates per-superstep stats into the run totals.
+// Finish accumulates per-superstep stats into the run totals. Supersteps
+// are normalized to ascending order first, so totals and per-step exports
+// stay meaningful even if an engine appended them out of order.
 func (r *Report) Finish() {
+	if !sort.SliceIsSorted(r.Supersteps, func(i, j int) bool {
+		return r.Supersteps[i].Superstep < r.Supersteps[j].Superstep
+	}) {
+		sort.SliceStable(r.Supersteps, func(i, j int) bool {
+			return r.Supersteps[i].Superstep < r.Supersteps[j].Superstep
+		})
+	}
 	r.PagesRead, r.PagesWritten = 0, 0
 	r.StorageTime, r.ComputeTime = 0, 0
 	for _, s := range r.Supersteps {
@@ -102,10 +128,86 @@ func PageRatio(base, r *Report) float64 {
 
 // String summarizes the report in one line.
 func (r *Report) String() string {
-	return fmt.Sprintf("%s/%s on %s: %d supersteps, total=%v (storage=%v compute=%v), pages r/w=%d/%d, converged=%v",
+	return fmt.Sprintf("%s/%s on %s: %d supersteps, total=%v (storage=%v compute=%v), wall=%v, pages r/w=%d/%d, converged=%v",
 		r.Engine, r.App, r.Graph, len(r.Supersteps), r.TotalTime().Round(time.Microsecond),
 		r.StorageTime.Round(time.Microsecond), r.ComputeTime.Round(time.Microsecond),
+		r.WallTime.Round(time.Microsecond),
 		r.PagesRead, r.PagesWritten, r.Converged)
+}
+
+// reportJSON is the machine-readable report schema: the raw fields plus
+// the derived quantities every figure of the paper is built from, so
+// downstream tooling never recomputes them from text tables.
+type reportJSON struct {
+	Engine string `json:"engine"`
+	App    string `json:"app"`
+	Graph  string `json:"graph"`
+
+	Converged    bool          `json:"converged"`
+	NumSteps     int           `json:"num_supersteps"`
+	PagesRead    uint64        `json:"pages_read"`
+	PagesWritten uint64        `json:"pages_written"`
+	TotalPages   uint64        `json:"total_pages"`
+	StorageTime  time.Duration `json:"storage_ns"`
+	ComputeTime  time.Duration `json:"compute_ns"`
+	TotalTime    time.Duration `json:"total_ns"`
+	WallTime     time.Duration `json:"wall_ns"`
+	Total        string        `json:"total"`
+	Wall         string        `json:"wall"`
+	StorageFrac  float64       `json:"storage_fraction"`
+
+	Supersteps []SuperstepStats `json:"supersteps"`
+}
+
+// MarshalJSON exports the report with derived totals included; durations
+// marshal as integer nanoseconds (the *_ns fields) with human-readable
+// companions for the headline times.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		Engine:       r.Engine,
+		App:          r.App,
+		Graph:        r.Graph,
+		Converged:    r.Converged,
+		NumSteps:     len(r.Supersteps),
+		PagesRead:    r.PagesRead,
+		PagesWritten: r.PagesWritten,
+		TotalPages:   r.TotalPages(),
+		StorageTime:  r.StorageTime,
+		ComputeTime:  r.ComputeTime,
+		TotalTime:    r.TotalTime(),
+		WallTime:     r.WallTime,
+		Total:        r.TotalTime().Round(time.Microsecond).String(),
+		Wall:         r.WallTime.Round(time.Microsecond).String(),
+		StorageFrac:  r.StorageFraction(),
+		Supersteps:   r.Supersteps,
+	})
+}
+
+// UnmarshalJSON restores a report from its JSON export; derived fields
+// are ignored (recomputed on demand).
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = Report{
+		Engine:       in.Engine,
+		App:          in.App,
+		Graph:        in.Graph,
+		Converged:    in.Converged,
+		PagesRead:    in.PagesRead,
+		PagesWritten: in.PagesWritten,
+		StorageTime:  in.StorageTime,
+		ComputeTime:  in.ComputeTime,
+		WallTime:     in.WallTime,
+		Supersteps:   in.Supersteps,
+	}
+	return nil
+}
+
+// JSON renders the report as indented JSON, for -json exports.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // Table renders rows as an aligned text table for harness output.
@@ -118,15 +220,22 @@ type Table struct {
 // AddRow appends a row of cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table.
+// String renders the table. Rows may be ragged: cells beyond the header
+// count get their own columns (previously this panicked in writeRow).
 func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

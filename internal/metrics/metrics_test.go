@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -118,5 +119,94 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Regression: a row with more cells than Headers used to panic in
+	// writeRow (widths[i] with i >= len(widths)).
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("1", "2", "extra", "more")
+	tab.AddRow("3")
+	out := tab.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Fatalf("ragged cells dropped:\n%s", out)
+	}
+	if got := tab.CSV(); !strings.Contains(got, "extra,more") {
+		t.Fatalf("CSV dropped ragged cells: %q", got)
+	}
+}
+
+func TestReportStringIncludesWallTime(t *testing.T) {
+	r := sampleReport(time.Millisecond, time.Millisecond)
+	r.WallTime = 123 * time.Millisecond
+	if s := r.String(); !strings.Contains(s, "wall=123ms") {
+		t.Fatalf("String() = %q missing wall time", s)
+	}
+}
+
+func TestFinishSortsSupersteps(t *testing.T) {
+	r := &Report{}
+	r.Supersteps = []SuperstepStats{
+		{Superstep: 2, PagesRead: 1},
+		{Superstep: 0, PagesRead: 2},
+		{Superstep: 1, PagesRead: 3},
+	}
+	r.Finish()
+	for i, ss := range r.Supersteps {
+		if ss.Superstep != i {
+			t.Fatalf("superstep %d at index %d after Finish", ss.Superstep, i)
+		}
+	}
+	if r.PagesRead != 6 {
+		t.Fatalf("PagesRead = %d", r.PagesRead)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport(10*time.Millisecond, 6*time.Millisecond)
+	r.WallTime = 20 * time.Millisecond
+	r.Converged = true
+	r.Supersteps[0].MsgSkew = 2.5
+	r.Supersteps[0].ReadBatchPages.Observe(7)
+	r.Supersteps[0].ReadBatchPages.Observe(64)
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Totals in the JSON must match the text-table quantities.
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if got := m["total_pages"].(float64); uint64(got) != r.TotalPages() {
+		t.Fatalf("total_pages = %v, want %d", got, r.TotalPages())
+	}
+	if got := m["total_ns"].(float64); time.Duration(got) != r.TotalTime() {
+		t.Fatalf("total_ns = %v, want %d", got, r.TotalTime())
+	}
+	if got := m["wall_ns"].(float64); time.Duration(got) != r.WallTime {
+		t.Fatalf("wall_ns = %v, want %d", got, r.WallTime)
+	}
+	if got := m["storage_fraction"].(float64); got != r.StorageFraction() {
+		t.Fatalf("storage_fraction = %v", got)
+	}
+
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Engine != r.Engine || back.WallTime != r.WallTime || !back.Converged {
+		t.Fatalf("round trip lost header fields: %+v", back)
+	}
+	if len(back.Supersteps) != len(r.Supersteps) {
+		t.Fatalf("round trip lost supersteps: %d", len(back.Supersteps))
+	}
+	if back.Supersteps[0].MsgSkew != 2.5 {
+		t.Fatalf("MsgSkew = %v", back.Supersteps[0].MsgSkew)
+	}
+	if got := back.Supersteps[0].ReadBatchPages; got.N != 2 || got.Sum != 71 {
+		t.Fatalf("hist round trip = %+v", got)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/ssd"
 )
 
@@ -51,7 +52,13 @@ type Log struct {
 
 	totalMu sync.Mutex
 	total   uint64
+
+	tr *obsv.Trace // nil = tracing disabled
 }
+
+// SetTracer attaches a span tracer; evictions and flushes emit spans on
+// it. A nil tracer (the default) disables tracing.
+func (l *Log) SetTracer(tr *obsv.Trace) { l.tr = tr }
 
 // New creates a Log with one interval log per interval. prefix names the
 // device files ("<prefix>.<interval>"). budget is the in-memory buffer
@@ -131,6 +138,11 @@ func (l *Log) Append(interval int, dst, src, data uint32) error {
 // evictFull writes every completed page to its interval's file, batching
 // the pages of each interval into a single device write.
 func (l *Log) evictFull() error {
+	// Tid 2 keeps log-unit spans off the engine's stage timeline: evictions
+	// triggered by concurrent Appends may overlap each other and would
+	// break the engine track's strict nesting.
+	sp := l.tr.BeginTid("mlog", "evict", 2)
+	defer sp.End()
 	for iv := range l.mu {
 		l.mu[iv].Lock()
 		pages := l.full[iv]
@@ -181,6 +193,9 @@ func (l *Log) file(iv int) (*ssd.File, error) {
 // whole generation is readable from the device. Called at the end of a
 // superstep, before the generation swap.
 func (l *Log) FlushAll() error {
+	sp := l.tr.BeginTid("mlog", "flush-all", 2)
+	sp.Arg("records", int64(l.Total()))
+	defer sp.End()
 	if err := l.evictFull(); err != nil {
 		return err
 	}

@@ -1,0 +1,195 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// HistBuckets is the number of power-of-two buckets a Hist holds. Bucket 0
+// counts the value 0; bucket i (i >= 1) counts values in [2^(i-1), 2^i - 1].
+// 32 buckets cover everything below 2^31, far beyond any page count or
+// microsecond latency the simulator produces.
+const HistBuckets = 32
+
+// Hist is a fixed-size power-of-two histogram. It is a plain value type —
+// no pointers, no locks — so it embeds directly in stats structs that are
+// snapshotted and subtracted (see ssd.Stats), and copies are cheap enough
+// for per-superstep deltas. Callers synchronize access themselves, which
+// matches how the device stats it extends are already guarded.
+type Hist struct {
+	N       uint64 // number of observations
+	Sum     uint64 // sum of observed values
+	Buckets [HistBuckets]uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v) // 0 for 0, floor(log2(v))+1 otherwise
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	h.N++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// Add accumulates o into h bucket-wise.
+func (h *Hist) Add(o Hist) {
+	h.N += o.N
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Sub returns h - o bucket-wise; o must be an earlier snapshot of the same
+// histogram (the same contract as ssd.Stats.Sub).
+func (h Hist) Sub(o Hist) Hist {
+	out := Hist{N: h.N - o.N, Sum: h.Sum - o.Sum}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i] - o.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the average observed value, or 0 for an empty histogram.
+func (h Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// BucketUpper returns the largest value bucket i can hold.
+func BucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// BucketLabel renders bucket i's value range ("0", "1", "2-3", "4-7", ...).
+func BucketLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	default:
+		return fmt.Sprintf("%d-%d", uint64(1)<<uint(i-1), BucketUpper(i))
+	}
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// upper edge of the bucket the quantile falls in. Returns 0 for an empty
+// histogram.
+func (h Hist) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.N))
+	if rank >= h.N {
+		rank = h.N - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Max returns the upper edge of the highest non-empty bucket.
+func (h Hist) Max() uint64 {
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if h.Buckets[i] > 0 {
+			return BucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// String summarizes the distribution in one line.
+func (h Hist) String() string {
+	if h.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p90<=%d p99<=%d max<=%d",
+		h.N, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+}
+
+// histJSON is the compact wire form: summary quantiles plus only the
+// non-empty buckets, keyed by their value-range label.
+type histJSON struct {
+	N       uint64            `json:"n"`
+	Sum     uint64            `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     uint64            `json:"p50"`
+	P90     uint64            `json:"p90"`
+	P99     uint64            `json:"p99"`
+	Max     uint64            `json:"max"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON emits the compact summary form. Empty histograms marshal as
+// {"n":0,...} with no bucket map, keeping per-superstep reports small.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	out := histJSON{N: h.N, Sum: h.Sum, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99), Max: h.Max()}
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if out.Buckets == nil {
+			out.Buckets = make(map[string]uint64)
+		}
+		out.Buckets[BucketLabel(i)] = c
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores the counts from the compact form, so reports
+// round-trip through their JSON export.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var in histJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Hist{N: in.N, Sum: in.Sum}
+	for label, c := range in.Buckets {
+		for i := 0; i < HistBuckets; i++ {
+			if BucketLabel(i) == label {
+				h.Buckets[i] = c
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Labels returns the labels of all non-empty buckets in ascending order,
+// with counts, for text-table rendering.
+func (h Hist) Labels() string {
+	var parts []string
+	for i, c := range h.Buckets {
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", BucketLabel(i), c))
+		}
+	}
+	return strings.Join(parts, " ")
+}

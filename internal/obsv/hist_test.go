@@ -1,0 +1,103 @@
+package obsv
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1024} {
+		h.Observe(v)
+	}
+	if h.N != 8 || h.Sum != 0+1+2+3+4+7+8+1024 {
+		t.Fatalf("N=%d Sum=%d", h.N, h.Sum)
+	}
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 11: 1}
+	for i, c := range h.Buckets {
+		if c != want[i] {
+			t.Fatalf("bucket %d (%s) = %d, want %d", i, BucketLabel(i), c, want[i])
+		}
+	}
+}
+
+func TestHistQuantileMeanMax(t *testing.T) {
+	var h Hist
+	for i := 0; i < 99; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1000)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := h.Quantile(0.999); got != BucketUpper(10) {
+		t.Fatalf("p99.9 = %d, want %d", got, BucketUpper(10))
+	}
+	if got := h.Max(); got != BucketUpper(10) {
+		t.Fatalf("Max = %d", got)
+	}
+	if m := h.Mean(); m < 10.9 || m > 11.1 {
+		t.Fatalf("Mean = %f", m)
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty hist not all-zero")
+	}
+}
+
+func TestHistSubAdd(t *testing.T) {
+	var a Hist
+	a.Observe(5)
+	a.Observe(100)
+	before := a
+	a.Observe(7)
+	delta := a.Sub(before)
+	if delta.N != 1 || delta.Sum != 7 || delta.Buckets[bucketOf(7)] != 1 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	var b Hist
+	b.Add(a)
+	if b != a {
+		t.Fatalf("Add: %+v != %+v", b, a)
+	}
+}
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Hist
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(300)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	bks := m["buckets"].(map[string]any)
+	if len(bks) != 3 || bks["0"] != 1.0 || bks["2-3"] != 1.0 || bks["256-511"] != 1.0 {
+		t.Fatalf("buckets = %v", bks)
+	}
+	var back Hist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip: %+v != %+v", back, h)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	var h Hist
+	if h.String() != "n=0" {
+		t.Fatalf("empty String = %q", h.String())
+	}
+	h.Observe(4)
+	if s := h.String(); s == "" || s == "n=0" {
+		t.Fatalf("String = %q", s)
+	}
+	if l := h.Labels(); l != "4-7:1" {
+		t.Fatalf("Labels = %q", l)
+	}
+}

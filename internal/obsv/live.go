@@ -1,0 +1,77 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// LiveVars are the process-wide engine gauges published over expvar under
+// the "mlvc." prefix. Engines update them unconditionally — a handful of
+// atomic stores per superstep — so attaching a debug listener mid-run
+// (mlvc run -listen :6060) observes the run without any replumbing.
+//
+// Superstep, Active, EdgeLogHitRate, and MsgSkew are most-recent-superstep
+// gauges; the page/message counters accumulate across every run in the
+// process, which is what a long-lived server wants.
+type LiveVars struct {
+	Superstep      *expvar.Int   // current superstep of the latest run
+	Active         *expvar.Int   // vertices processed in that superstep
+	PagesRead      *expvar.Int   // cumulative device pages read by engines
+	PagesWritten   *expvar.Int   // cumulative device pages written
+	MsgsSent       *expvar.Int   // cumulative messages sent
+	EdgeLogHitRate *expvar.Float // share of adjacency pages served from the edge log
+	MsgSkew        *expvar.Float // per-interval message skew (max/mean) of that superstep
+	Runs           *expvar.Int   // engine runs started in this process
+}
+
+var (
+	liveOnce sync.Once
+	liveVars *LiveVars
+)
+
+// Live returns the singleton gauges, registering them with expvar on first
+// use. expvar panics on duplicate registration, hence the Once.
+func Live() *LiveVars {
+	liveOnce.Do(func() {
+		liveVars = &LiveVars{
+			Superstep:      expvar.NewInt("mlvc.superstep"),
+			Active:         expvar.NewInt("mlvc.active_vertices"),
+			PagesRead:      expvar.NewInt("mlvc.pages_read"),
+			PagesWritten:   expvar.NewInt("mlvc.pages_written"),
+			MsgsSent:       expvar.NewInt("mlvc.msgs_sent"),
+			EdgeLogHitRate: expvar.NewFloat("mlvc.edgelog_hit_rate"),
+			MsgSkew:        expvar.NewFloat("mlvc.msg_skew"),
+			Runs:           expvar.NewInt("mlvc.runs"),
+		}
+	})
+	return liveVars
+}
+
+// Serve starts an HTTP listener exposing expvar counters at /debug/vars
+// and the pprof profile family at /debug/pprof/. It returns the bound
+// address (useful with ":0") and a shutdown func. The server runs until
+// the process exits or the shutdown func is called.
+func Serve(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "mlvc debug endpoint: /debug/vars (expvar), /debug/pprof/ (profiles)")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

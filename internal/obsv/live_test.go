@@ -1,0 +1,56 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestLiveSingleton(t *testing.T) {
+	a, b := Live(), Live()
+	if a != b {
+		t.Fatal("Live() returned distinct instances")
+	}
+	a.Superstep.Set(7)
+	if b.Superstep.Value() != 7 {
+		t.Fatal("vars not shared")
+	}
+}
+
+func TestServeExpvarAndPprof(t *testing.T) {
+	addr, closeFn, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	Live().Superstep.Set(3)
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if v, ok := vars["mlvc.superstep"].(float64); !ok || v != 3 {
+		t.Fatalf("mlvc.superstep = %v", vars["mlvc.superstep"])
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}

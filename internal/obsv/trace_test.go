@@ -1,0 +1,173 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	sp := tr.Begin("cat", "name")
+	sp.Arg("k", 1)
+	sp.End() // must not panic
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace accumulated state")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil trace export: %v", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil trace export is not valid JSON: %v", err)
+	}
+}
+
+func TestSpanRecordsNameCatArgs(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.BeginTid("engine", "superstep", 7)
+	sp.Arg("step", 3)
+	sp.Arg("active", 42)
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "superstep" || ev.Cat != "engine" || ev.Tid != 7 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Args) != 2 || ev.Args[0] != (Arg{"step", 3}) || ev.Args[1] != (Arg{"active", 42}) {
+		t.Fatalf("args = %+v", ev.Args)
+	}
+	if ev.Dur < 0 || ev.Start < 0 {
+		t.Fatalf("negative times: %+v", ev)
+	}
+}
+
+// TestConcurrentEmitters exercises the sink from many goroutines; run
+// with -race to verify the lock discipline.
+func TestConcurrentEmitters(t *testing.T) {
+	tr := NewTrace()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.BeginTid("test", fmt.Sprintf("w%d", w), w)
+				sp.Arg("i", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != workers*per {
+		t.Fatalf("recorded %d spans, want %d", got, workers*per)
+	}
+}
+
+// traceShape is the time-independent projection of the Chrome export used
+// for the golden comparison: everything except ts/dur, which vary run to
+// run.
+type traceShape struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TestChromeTraceGolden checks the export is valid Chrome trace JSON with
+// the expected event shapes (golden file) and that nested spans stay
+// contained in their parent's [ts, ts+dur] window.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTrace()
+	outer := tr.Begin("engine", "superstep")
+	outer.Arg("step", 0)
+	inner := tr.Begin("engine", "load+sort")
+	inner.Arg("records", 12)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			traceShape
+			Ts  float64  `json:"ts"`
+			Dur *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+
+	// Spans complete innermost-first, so the export order is load+sort
+	// then superstep; verify containment.
+	var ls, ss *struct {
+		traceShape
+		Ts  float64  `json:"ts"`
+		Dur *float64 `json:"dur"`
+	}
+	for i := range out.TraceEvents {
+		ev := &out.TraceEvents[i]
+		switch ev.Name {
+		case "load+sort":
+			ls = ev
+		case "superstep":
+			ss = ev
+		}
+	}
+	if ls == nil || ss == nil {
+		t.Fatalf("missing spans in export: %s", buf.String())
+	}
+	if ls.Ph != "X" || ss.Ph != "X" || ls.Dur == nil || ss.Dur == nil {
+		t.Fatal("spans are not complete events")
+	}
+	if ls.Ts < ss.Ts || ls.Ts+*ls.Dur > ss.Ts+*ss.Dur {
+		t.Fatalf("child span [%f,+%f] escapes parent [%f,+%f]", ls.Ts, *ls.Dur, ss.Ts, *ss.Dur)
+	}
+
+	// Golden comparison of the time-independent shape.
+	shapes := make([]traceShape, len(out.TraceEvents))
+	for i, ev := range out.TraceEvents {
+		shapes[i] = ev.traceShape
+	}
+	got, err := json.MarshalIndent(shapes, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace shape drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"multilogvc/internal/obsv"
 )
 
 // DefaultPageSize is the SSD page size used throughout the paper (16KB).
@@ -67,6 +69,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats is a snapshot of the device counters.
+//
+// Beyond the flat totals, the device keeps power-of-two distributions of
+// how well callers batch: pages per request (the quantity FlashGraph and
+// BigSparse attribute their wins to), the busiest channel's excess queue
+// depth over a perfectly striped batch (0 = no imbalance), and the virtual
+// service latency per batch. Engines surface per-superstep deltas of these
+// in metrics.SuperstepStats.
 type Stats struct {
 	PagesRead     uint64
 	PagesWritten  uint64
@@ -79,6 +88,13 @@ type Stats struct {
 	FilesCreated  uint64
 	FilesRemoved  uint64
 	FileTruncates uint64
+
+	ReadBatchPages  obsv.Hist // pages per read batch
+	WriteBatchPages obsv.Hist // pages per write batch
+	ReadImbalance   obsv.Hist // busiest-channel depth minus ceil(pages/channels), per read batch
+	WriteImbalance  obsv.Hist // same for write batches
+	ReadLatencyUS   obsv.Hist // virtual service time per read batch, µs
+	WriteLatencyUS  obsv.Hist // virtual service time per write batch, µs
 }
 
 // StorageTime returns the total virtual time charged to the device.
@@ -99,6 +115,13 @@ func (s Stats) Sub(t Stats) Stats {
 		FilesCreated:  s.FilesCreated - t.FilesCreated,
 		FilesRemoved:  s.FilesRemoved - t.FilesRemoved,
 		FileTruncates: s.FileTruncates - t.FileTruncates,
+
+		ReadBatchPages:  s.ReadBatchPages.Sub(t.ReadBatchPages),
+		WriteBatchPages: s.WriteBatchPages.Sub(t.WriteBatchPages),
+		ReadImbalance:   s.ReadImbalance.Sub(t.ReadImbalance),
+		WriteImbalance:  s.WriteImbalance.Sub(t.WriteImbalance),
+		ReadLatencyUS:   s.ReadLatencyUS.Sub(t.ReadLatencyUS),
+		WriteLatencyUS:  s.WriteLatencyUS.Sub(t.WriteLatencyUS),
 	}
 }
 
@@ -333,21 +356,36 @@ func (d *Device) StatsByFile() map[string]FileStats {
 // pagesPerChan[i] is the number of pages queued on channel i; the batch
 // completes when the busiest channel drains.
 func (d *Device) chargeRead(npages int, maxOnChan int) {
+	lat := time.Duration(maxOnChan) * d.cfg.PageReadLatency
 	d.mu.Lock()
 	d.stats.PagesRead += uint64(npages)
 	d.stats.BytesRead += uint64(npages) * uint64(d.cfg.PageSize)
 	d.stats.BatchReads++
-	d.stats.ReadTime += time.Duration(maxOnChan) * d.cfg.PageReadLatency
+	d.stats.ReadTime += lat
+	d.stats.ReadBatchPages.Observe(uint64(npages))
+	d.stats.ReadImbalance.Observe(uint64(maxOnChan - idealDepth(npages, d.cfg.Channels)))
+	d.stats.ReadLatencyUS.Observe(uint64(lat / time.Microsecond))
 	d.mu.Unlock()
 }
 
 func (d *Device) chargeWrite(npages int, maxOnChan int) {
+	lat := time.Duration(maxOnChan) * d.cfg.PageWriteLatency
 	d.mu.Lock()
 	d.stats.PagesWritten += uint64(npages)
 	d.stats.BytesWritten += uint64(npages) * uint64(d.cfg.PageSize)
 	d.stats.BatchWrites++
-	d.stats.WriteTime += time.Duration(maxOnChan) * d.cfg.PageWriteLatency
+	d.stats.WriteTime += lat
+	d.stats.WriteBatchPages.Observe(uint64(npages))
+	d.stats.WriteImbalance.Observe(uint64(maxOnChan - idealDepth(npages, d.cfg.Channels)))
+	d.stats.WriteLatencyUS.Observe(uint64(lat / time.Microsecond))
 	d.mu.Unlock()
+}
+
+// idealDepth is the busiest-channel depth of a perfectly striped batch:
+// ceil(npages/channels). The imbalance histograms record how far the
+// actual placement falls short of that bound.
+func idealDepth(npages, channels int) int {
+	return (npages + channels - 1) / channels
 }
 
 // maxPerChannel computes the depth of the busiest channel for a set of

@@ -554,3 +554,59 @@ func TestFaultInjectionBasics(t *testing.T) {
 		t.Fatalf("disarmed read failed: %v", err)
 	}
 }
+
+func TestStatsHistograms(t *testing.T) {
+	lat := 100 * time.Microsecond
+	d := MustOpen(Config{PageSize: 64, Channels: 4, PageReadLatency: lat, PageWriteLatency: lat})
+	f, _ := d.Create("f")
+	for i := 0; i < 8; i++ {
+		f.AppendPage(make([]byte, 64))
+	}
+	d.ResetStats()
+
+	// One batch of 8 pages over 4 channels: perfectly balanced, 2 serial
+	// latencies on the busiest channel.
+	if err := f.ReadPageRange(0, 8, make([]byte, 8*64)); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.ReadBatchPages.N != 1 || st.ReadBatchPages.Sum != 8 {
+		t.Fatalf("ReadBatchPages = %s", st.ReadBatchPages)
+	}
+	if st.ReadImbalance.N != 1 || st.ReadImbalance.Sum != 0 {
+		t.Fatalf("balanced batch should observe imbalance 0, got %s", st.ReadImbalance)
+	}
+	if st.ReadLatencyUS.N != 1 || st.ReadLatencyUS.Sum != 200 {
+		t.Fatalf("ReadLatencyUS = %s, want one 200us observation", st.ReadLatencyUS)
+	}
+
+	// Single-page reads: each batch is 1 page, 1 latency, imbalance 0.
+	before := st
+	buf := make([]byte, 64)
+	for i := 0; i < 3; i++ {
+		f.ReadPage(i, buf)
+	}
+	delta := d.Stats().Sub(before)
+	if delta.ReadBatchPages.N != 3 || delta.ReadBatchPages.Sum != 3 {
+		t.Fatalf("delta ReadBatchPages = %s", delta.ReadBatchPages)
+	}
+	if delta.ReadLatencyUS.Sum != 300 {
+		t.Fatalf("delta ReadLatencyUS = %s", delta.ReadLatencyUS)
+	}
+
+	// Writes populate the write-side histograms.
+	if err := f.WritePageRange(0, make([]byte, 6*64)); err != nil {
+		t.Fatal(err)
+	}
+	st = d.Stats()
+	if st.WriteBatchPages.N != 1 || st.WriteBatchPages.Sum != 6 {
+		t.Fatalf("WriteBatchPages = %s", st.WriteBatchPages)
+	}
+	// 6 pages over 4 channels: busiest has 2, ideal is ceil(6/4)=2 -> 0 skew.
+	if st.WriteImbalance.Sum != 0 {
+		t.Fatalf("WriteImbalance = %s", st.WriteImbalance)
+	}
+	if st.WriteLatencyUS.Sum != 200 {
+		t.Fatalf("WriteLatencyUS = %s", st.WriteLatencyUS)
+	}
+}

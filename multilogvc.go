@@ -38,6 +38,7 @@ import (
 	"multilogvc/internal/graphchi"
 	"multilogvc/internal/graphio"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
 )
@@ -65,7 +66,18 @@ type (
 	Report = metrics.Report
 	// SuperstepStats is one superstep's measurements.
 	SuperstepStats = metrics.SuperstepStats
+	// Trace collects structured spans from an engine run; export it with
+	// WriteChromeTrace for Perfetto / chrome://tracing.
+	Trace = obsv.Trace
 )
+
+// NewTrace creates an empty span trace to pass in RunOptions.Trace.
+func NewTrace() *Trace { return obsv.NewTrace() }
+
+// ServeDebug starts an HTTP listener exposing live engine gauges at
+// /debug/vars (expvar) and profiles at /debug/pprof/. It returns the
+// bound address and a shutdown func.
+func ServeDebug(addr string) (string, func() error, error) { return obsv.Serve(addr) }
 
 // SystemOptions configures the storage device under a System.
 type SystemOptions struct {
@@ -319,6 +331,10 @@ type RunOptions struct {
 	// supersteps; phase-structured algorithms (MIS) need synchronous
 	// execution. Only the MultiLogVC engine honors it.
 	Async bool
+	// Trace, when non-nil, records per-superstep and per-stage spans of
+	// the run (MultiLogVC engine only). Disabled tracing costs one pointer
+	// test per stage.
+	Trace *Trace
 }
 
 // RunResult is a finished run: the report and final vertex values.
@@ -370,6 +386,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			DisableCombiner: opts.DisableCombiner,
 			DisableFusing:   opts.DisableFusing,
 			Async:           opts.Async,
+			Trace:           opts.Trace,
 		})
 		res, err := eng.Run(prog)
 		if err != nil {
