@@ -31,7 +31,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonDir := flag.String("json", "", "write every engine run's report as JSON into this directory")
 	listen := flag.String("listen", "", "serve expvar live metrics and pprof on this address (e.g. :6060)")
+	cacheMB := flag.Int("cache-mb", 0, "attach a page cache of this size (MiB) to every experiment device; 0 (default) runs uncached")
 	flag.Parse()
+
+	harness.DefaultCacheMB = *cacheMB
 
 	if *listen != "" {
 		addr, _, err := obsv.Serve(*listen)

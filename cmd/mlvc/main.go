@@ -189,6 +189,8 @@ func cmdRun(args []string) error {
 	weighted := fs.Bool("weighted", false, "attach deterministic pseudo-random edge weights [1,16]")
 	kcoreK := fs.Uint("k", 3, "kcore: minimum degree k")
 	perStep := fs.Bool("per-superstep", false, "print per-superstep stats")
+	cacheMB := fs.Int("cache-mb", 0, "page-cache size in MiB; 0 (default) runs uncached")
+	noPrefetch := fs.Bool("no-prefetch", false, "disable async next-interval prefetch (cache stays on)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span trace (Perfetto-loadable)")
 	jsonPath := fs.String("json", "", "write the run report as JSON")
 	listen := fs.String("listen", "", "serve expvar live metrics and pprof on this address (e.g. :6060)")
@@ -217,7 +219,7 @@ func cmdRun(args []string) error {
 	}
 
 	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{
-		PageSize: *pageSize, Channels: *channels, Dir: *dir,
+		PageSize: *pageSize, Channels: *channels, Dir: *dir, CacheMB: *cacheMB,
 	})
 	if err != nil {
 		return err
@@ -259,6 +261,7 @@ func cmdRun(args []string) error {
 		DisableCombiner: *noCombiner,
 		Async:           *async,
 		Trace:           trace,
+		NoPrefetch:      *noPrefetch,
 	})
 	if err != nil {
 		return err

@@ -30,6 +30,7 @@ import (
 	"multilogvc/internal/metrics"
 	"multilogvc/internal/mlog"
 	"multilogvc/internal/obsv"
+	"multilogvc/internal/pagecache"
 	"multilogvc/internal/sortgroup"
 	"multilogvc/internal/vc"
 )
@@ -79,6 +80,17 @@ type Config struct {
 	// processing, edge-log relog, flushes). A nil Trace costs one pointer
 	// test per stage.
 	Trace *obsv.Trace
+	// Cache is the buffer pool attached to the graph's device, when one
+	// is (nil = uncached, the paper-faithful default). The device serves
+	// cached reads on its own; the engine uses this handle for
+	// per-superstep counter deltas and live gauges.
+	Cache *pagecache.Cache
+	// Prefetcher, when non-nil (requires Cache), warms the next
+	// interval's message-log and CSR pages in the background while the
+	// current batch computes. The engine cancels pending work at every
+	// superstep boundary and releases pin epochs one batch after their
+	// pages are consumed. The caller owns the prefetcher's lifecycle.
+	Prefetcher *pagecache.Prefetcher
 }
 
 func (c Config) withDefaults() Config {
@@ -213,11 +225,17 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		}
 		stepStart := time.Now()
 		devBefore := dev.Stats()
+		var cacheBefore pagecache.Stats
+		if cache := cfg.Cache; cache != nil {
+			cacheBefore = cache.Stats()
+		}
 		ss := metrics.SuperstepStats{Superstep: step}
 		ss.MsgSkew = intervalSkew(curLog, len(ivs))
 		stepSpan := tr.Begin("engine", "superstep")
 		stepSpan.Arg("step", int64(step))
 
+		pf := cfg.Prefetcher
+		var pfEpoch uint64 // pins covering the batch about to be processed
 		for ivStart := 0; ivStart < len(ivs); {
 			loadSpan := tr.Begin("engine", "load+sort")
 			batch, err := sortgroup.LoadFused(curLog, ivs, ivStart, sortBudget)
@@ -228,6 +246,23 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			loadSpan.Arg("last_iv", int64(batch.LastIv))
 			loadSpan.Arg("records", int64(len(batch.Recs)))
 			loadSpan.End()
+
+			// Warm the next batch's first interval in the background while
+			// this batch computes: its message-log pages plus the value and
+			// CSR pages of its predicted-active vertices.
+			var nextEpoch uint64
+			if pf != nil {
+				if nextIv := batch.LastIv + 1; nextIv < len(ivs) {
+					pfSpan := tr.Begin("engine", "prefetch-submit")
+					nextEpoch = pf.BeginEpoch()
+					jobs := e.planPrefetch(nextIv, curLog, values, carry, pred, elog)
+					pf.Submit(nextEpoch, jobs...)
+					pfSpan.Arg("iv", int64(nextIv))
+					pfSpan.Arg("jobs", int64(len(jobs)))
+					pfSpan.End()
+				}
+			}
+
 			procSpan := tr.Begin("engine", "process-batch")
 			procSpan.Arg("first_iv", int64(batch.FirstIv))
 			if err := e.processBatch(&batchRun{
@@ -240,7 +275,23 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 				return nil, err
 			}
 			procSpan.End()
+			if pf != nil {
+				// The pages pinned for this batch have been consumed; the
+				// ones pinned for the next batch stay until it finishes.
+				if pfEpoch != 0 {
+					pf.ReleaseEpoch(pfEpoch)
+				}
+				pfEpoch = nextEpoch
+			}
 			ivStart = batch.LastIv + 1
+		}
+		if pf != nil {
+			// Superstep boundary: stale predictions are worthless and the
+			// graph may mutate below — cancel queued jobs, wait out the one
+			// in flight, and drop every remaining pin.
+			pf.CancelPending()
+			pf.WaitIdle()
+			pf.ReleaseAll()
 		}
 
 		// Apply structural mutations at the superstep boundary (§V-E):
@@ -291,6 +342,21 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		ss.WriteBatchPages = devDelta.WriteBatchPages
 		ss.ReadLatencyUS = devDelta.ReadLatencyUS
 		ss.WriteLatencyUS = devDelta.WriteLatencyUS
+		if cache := cfg.Cache; cache != nil {
+			cd := cache.Stats().Sub(cacheBefore)
+			ss.CacheHits = cd.Hits
+			ss.CacheMisses = cd.Misses
+			ss.CacheEvictions = cd.Evictions
+			ss.PrefetchInserts = cd.PrefetchInserts
+			ss.PrefetchHits = cd.PrefetchHits
+			ss.PrefetchDropped = cd.PrefetchDropped
+			live.CacheHitRate.Set(cd.HitRate())
+			live.CacheResident.Set(int64(cache.Resident()))
+			live.PrefetchAcc.Set(cd.PrefetchAccuracy())
+			stepSpan.Arg("cache_hits", int64(cd.Hits))
+			stepSpan.Arg("cache_misses", int64(cd.Misses))
+			stepSpan.Arg("prefetch_warmed", int64(cd.PrefetchInserts))
+		}
 		cumProcessed += ss.Active
 		report.Supersteps = append(report.Supersteps, ss)
 
@@ -317,6 +383,77 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Report: report, Values: finalValues}, nil
+}
+
+// maxPrefetchVerts caps how many predicted-active vertices one prefetch
+// plan expands into page sets, bounding plan time on dense intervals.
+const maxPrefetchVerts = 1 << 16
+
+// planPrefetch builds the warm jobs for interval nextIv, to run while the
+// current batch computes. The prediction is the same signal the edge-log
+// optimizer uses: a vertex is expected active next if it carried over
+// live or its activity history predicts it (Predictor.PredictActive).
+// Three page families are warmed, all pinned until the consuming batch
+// releases the epoch:
+//
+//  1. the interval's message-log pages (sortgroup will read them whole),
+//  2. the value pages of the predicted vertices,
+//  3. their CSR pages — row-pointer pages up front (pure arithmetic),
+//     column-index pages via a second-stage Expand that reads the row
+//     entries through the now-warm cache on the prefetch worker.
+//
+// Everything here runs on the engine goroutine except the Expand closure,
+// which touches only thread-safe state (device files and the graph's
+// immutable layout).
+func (e *Engine) planPrefetch(nextIv int, curLog *mlog.Log, values *csr.Values,
+	carry *bitset.Set, pred *edgelog.Predictor, elog *edgelog.EdgeLog) []pagecache.Job {
+
+	var jobs []pagecache.Job
+	if f, pages := curLog.FilePages(nextIv); f != nil {
+		jobs = append(jobs, pagecache.Job{File: f, Pages: pages, Pin: true})
+	}
+
+	iv := e.g.Intervals()[nextIv]
+	verts := make([]uint32, 0, 256)
+	for v := iv.Lo; v < iv.Hi && len(verts) < maxPrefetchVerts; v++ {
+		if carry.Test(int(v)) || (pred != nil && pred.PredictActive(v)) {
+			verts = append(verts, v)
+		}
+	}
+	if len(verts) == 0 {
+		return jobs
+	}
+
+	if pages := values.PagesForVerts(verts); len(pages) > 0 {
+		jobs = append(jobs, pagecache.Job{File: values.File(), Pages: pages, Pin: true})
+	}
+
+	// Adjacency: only vertices the edge log will not serve read CSR pages.
+	csrVerts := verts
+	if elog != nil {
+		csrVerts = make([]uint32, 0, len(verts))
+		for _, v := range verts {
+			if !elog.Has(v) {
+				csrVerts = append(csrVerts, v)
+			}
+		}
+	}
+	if rowF, rowPages := e.g.OutRowPages(nextIv, csrVerts); rowF != nil && len(rowPages) > 0 {
+		jobs = append(jobs, pagecache.Job{
+			File: rowF, Pages: rowPages, Pin: true,
+			Expand: func() ([]pagecache.Job, error) {
+				colF, colPages, err := e.g.OutColPages(nextIv, csrVerts)
+				if err != nil {
+					return nil, err
+				}
+				if colF == nil || len(colPages) == 0 {
+					return nil, nil
+				}
+				return []pagecache.Job{{File: colF, Pages: colPages, Pin: true}}, nil
+			},
+		})
+	}
+	return jobs
 }
 
 // batchRun bundles the state of one fused-interval batch.

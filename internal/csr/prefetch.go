@@ -1,0 +1,108 @@
+package csr
+
+import (
+	"sort"
+
+	"multilogvc/internal/ssd"
+)
+
+// Prefetch planning helpers: these compute which device pages a future
+// adjacency or value load for a predicted-active vertex set would touch,
+// so the engine's prefetcher can warm them while the current batch
+// computes. They mirror the page arithmetic of loadEdges/readRowEntries
+// and LoadForVerts exactly — a page warmed here is precisely a page the
+// demand load would otherwise miss on.
+
+// File returns the device file backing the value array.
+func (vv *Values) File() *ssd.File { return vv.f }
+
+// PagesForVerts returns the distinct pages holding the value slots of the
+// given vertices, which must be sorted ascending.
+func (vv *Values) PagesForVerts(verts []uint32) []int {
+	ps := vv.dev.PageSize()
+	var pages []int
+	last := -1
+	for _, v := range verts {
+		if v >= vv.n {
+			continue
+		}
+		p := int(int64(v) * 4 / int64(ps))
+		if p != last {
+			pages = append(pages, p)
+			last = p
+		}
+	}
+	return pages
+}
+
+// OutRowPages returns interval iv's out-CSR row-pointer file and the
+// pages covering the row entries of verts. Pure arithmetic — no IO — so
+// it is safe to call from the engine's main loop when planning prefetch.
+func (g *Graph) OutRowPages(iv int, verts []uint32) (*ssd.File, []int) {
+	if len(verts) == 0 {
+		return nil, nil
+	}
+	interval := g.meta.Intervals[iv]
+	ps := g.dev.PageSize()
+	pageSet := make(map[int]bool)
+	for _, v := range verts {
+		if !interval.Contains(v) {
+			continue
+		}
+		j := int64(v - interval.Lo)
+		bLo := j * 8
+		bHi := bLo + 16 // entries j and j+1
+		for p := bLo / int64(ps); p <= (bHi-1)/int64(ps); p++ {
+			pageSet[int(p)] = true
+		}
+	}
+	return g.outRow[iv], sortedPages(pageSet)
+}
+
+// OutColPages reads the row entries of verts (a cache hit when the
+// row-pointer pages were warmed first) and returns the column-index file
+// and the pages holding those vertices' edges. This is the second stage
+// of the two-stage CSR prefetch: rowptr pages first, then the colidx
+// pages they point at. Runs on the prefetch worker.
+func (g *Graph) OutColPages(iv int, verts []uint32) (*ssd.File, []int, error) {
+	if len(verts) == 0 {
+		return nil, nil, nil
+	}
+	interval := g.meta.Intervals[iv]
+	inRange := verts[:0:0]
+	for _, v := range verts {
+		if interval.Contains(v) {
+			inRange = append(inRange, v)
+		}
+	}
+	if len(inRange) == 0 {
+		return nil, nil, nil
+	}
+	rows, _, err := g.readRowEntries(g.outRow[iv], interval, inRange)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := g.dev.PageSize()
+	pageSet := make(map[int]bool)
+	for i := range inRange {
+		start, end := rows[2*i], rows[2*i+1]
+		if start == end {
+			continue
+		}
+		bLo := int64(start) * 4
+		bHi := int64(end) * 4
+		for p := bLo / int64(ps); p <= (bHi-1)/int64(ps); p++ {
+			pageSet[int(p)] = true
+		}
+	}
+	return g.outCol[iv], sortedPages(pageSet), nil
+}
+
+func sortedPages(set map[int]bool) []int {
+	pages := make([]int, 0, len(set))
+	for p := range set {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	return pages
+}

@@ -26,6 +26,7 @@ import (
 	"multilogvc/internal/csr"
 	"multilogvc/internal/extsort"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/pagecache"
 	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	// StopAfter ends the run after the superstep for which it returns
 	// true.
 	StopAfter func(superstep int, cumProcessed uint64) bool
+	// Cache is the page cache attached to the device, if any; the engine
+	// only reads its counters for per-superstep reporting. The caller owns
+	// attachment and lifecycle.
+	Cache *pagecache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +157,10 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		}
 		stepStart := time.Now()
 		devBefore := dev.Stats()
+		var cacheBefore pagecache.Stats
+		if cfg.Cache != nil {
+			cacheBefore = cfg.Cache.Stats()
+		}
 		ss := metrics.SuperstepStats{Superstep: step}
 
 		// Externally sort the single log into memory-bounded groups.
@@ -230,6 +239,15 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		ss.WriteLatencyUS = devDelta.WriteLatencyUS
 		ss.ComputeTime = time.Since(stepStart)
 		ss.MsgsSent = logCount
+		if cache := cfg.Cache; cache != nil {
+			cd := cache.Stats().Sub(cacheBefore)
+			ss.CacheHits = cd.Hits
+			ss.CacheMisses = cd.Misses
+			ss.CacheEvictions = cd.Evictions
+			ss.PrefetchInserts = cd.PrefetchInserts
+			ss.PrefetchHits = cd.PrefetchHits
+			ss.PrefetchDropped = cd.PrefetchDropped
+		}
 		cumProcessed += ss.Active
 		report.Supersteps = append(report.Supersteps, ss)
 

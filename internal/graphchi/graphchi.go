@@ -25,6 +25,7 @@ import (
 	"multilogvc/internal/csr"
 	"multilogvc/internal/graphio"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/pagecache"
 	"multilogvc/internal/shard"
 	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
@@ -40,6 +41,10 @@ type Config struct {
 	// StopAfter, when non-nil, ends the run after the superstep for which
 	// it returns true (same contract as the MultiLogVC engine).
 	StopAfter func(superstep int, cumProcessed uint64) bool
+	// Cache is the page cache attached to the device, if any; the engine
+	// only reads its counters for per-superstep reporting. The caller owns
+	// attachment and lifecycle.
+	Cache *pagecache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +155,10 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		}
 		stepStart := time.Now()
 		devBefore := e.dev.Stats()
+		var cacheBefore pagecache.Stats
+		if cfg.Cache != nil {
+			cacheBefore = cfg.Cache.Stats()
+		}
 		ss := metrics.SuperstepStats{Superstep: step}
 
 		p := step % 2
@@ -190,6 +199,15 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		ss.ReadLatencyUS = devDelta.ReadLatencyUS
 		ss.WriteLatencyUS = devDelta.WriteLatencyUS
 		ss.ComputeTime = time.Since(stepStart)
+		if cache := cfg.Cache; cache != nil {
+			cd := cache.Stats().Sub(cacheBefore)
+			ss.CacheHits = cd.Hits
+			ss.CacheMisses = cd.Misses
+			ss.CacheEvictions = cd.Evictions
+			ss.PrefetchInserts = cd.PrefetchInserts
+			ss.PrefetchHits = cd.PrefetchHits
+			ss.PrefetchDropped = cd.PrefetchDropped
+		}
 		cumProcessed += ss.Active
 		report.Supersteps = append(report.Supersteps, ss)
 

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"testing"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/vc"
+)
+
+// TestCacheParity verifies the page cache is purely a performance layer:
+// running with a cache produces bit-identical vertex values while reading
+// measurably fewer device pages (repeat reads across supersteps are
+// served from memory).
+func TestCacheParity(t *testing.T) {
+	ds, err := CFMini(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []vc.Program{&apps.PageRank{}, &apps.BFS{Source: 0}, &apps.CDLP{}}
+	for _, prog := range progs {
+		opts := RunOpts{MaxSupersteps: 5}
+
+		cold, err := Prepare(ds, EnvOptions{CacheMB: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRep, coldVals, err := RunMLVC(cold, prog, opts)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", prog.Name(), err)
+		}
+
+		warm, err := Prepare(ds, EnvOptions{CacheMB: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Cache == nil {
+			t.Fatal("CacheMB: 8 attached no cache")
+		}
+		warmRep, warmVals, err := RunMLVC(warm, prog, opts)
+		if err != nil {
+			t.Fatalf("%s cached: %v", prog.Name(), err)
+		}
+
+		if len(coldVals) != len(warmVals) {
+			t.Fatalf("%s: value count %d != %d", prog.Name(), len(warmVals), len(coldVals))
+		}
+		for v := range coldVals {
+			if coldVals[v] != warmVals[v] {
+				t.Fatalf("%s: value[%d] = %d cached, %d uncached", prog.Name(), v, warmVals[v], coldVals[v])
+			}
+		}
+		if warmRep.CacheHits == 0 {
+			t.Errorf("%s: cached run recorded no hits", prog.Name())
+		}
+		if warmRep.PagesRead >= coldRep.PagesRead {
+			t.Errorf("%s: cached run read %d device pages, uncached %d — cache saved nothing",
+				prog.Name(), warmRep.PagesRead, coldRep.PagesRead)
+		}
+	}
+}
+
+// TestCacheParityBaselines runs the baseline engines cached and uncached:
+// they use the cache passively (no prefetch) but must see the same
+// results-and-fewer-reads contract.
+func TestCacheParityBaselines(t *testing.T) {
+	ds, err := CFMini(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &apps.PageRank{}
+	opts := RunOpts{MaxSupersteps: 5}
+
+	type runner func(env *Env) (rep interface {
+		CacheHitRate() float64
+	}, pagesRead uint64, vals []uint32, err error)
+	runners := map[string]runner{
+		"graphchi": func(env *Env) (interface{ CacheHitRate() float64 }, uint64, []uint32, error) {
+			rep, vals, err := RunGraphChi(env, prog, opts)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			return rep, rep.PagesRead, vals, nil
+		},
+		"grafboost": func(env *Env) (interface{ CacheHitRate() float64 }, uint64, []uint32, error) {
+			rep, vals, err := RunGraFBoost(env, prog, opts)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			return rep, rep.PagesRead, vals, nil
+		},
+	}
+	for name, run := range runners {
+		cold, err := Prepare(ds, EnvOptions{CacheMB: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, coldPages, coldVals, err := run(cold)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", name, err)
+		}
+		warm, err := Prepare(ds, EnvOptions{CacheMB: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, warmPages, warmVals, err := run(warm)
+		if err != nil {
+			t.Fatalf("%s cached: %v", name, err)
+		}
+		for v := range coldVals {
+			if coldVals[v] != warmVals[v] {
+				t.Fatalf("%s: value[%d] = %d cached, %d uncached", name, v, warmVals[v], coldVals[v])
+			}
+		}
+		if warmPages >= coldPages {
+			t.Errorf("%s: cached run read %d device pages, uncached %d", name, warmPages, coldPages)
+		}
+	}
+}
+
+// TestCachePrefetchAccuracy checks the async prefetcher warms pages the
+// next interval actually consumes: a meaningful share of warmed pages
+// must see a demand hit on a PageRank run, where every vertex stays
+// active and the predictor has full history.
+func TestCachePrefetchAccuracy(t *testing.T) {
+	ds, err := CFMini(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Prepare(ds, EnvOptions{CacheMB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := RunMLVC(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrefetchInserts == 0 {
+		t.Skip("no pages warmed (single-batch supersteps leave nothing to prefetch)")
+	}
+	if acc := rep.PrefetchAccuracy(); acc < 0.25 {
+		t.Errorf("prefetch accuracy %.2f: fewer than a quarter of warmed pages were used", acc)
+	}
+}

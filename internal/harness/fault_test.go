@@ -19,19 +19,31 @@ func TestFaultInjectionPropagates(t *testing.T) {
 
 	type runner struct {
 		name string
+		opts EnvOptions
 		run  func(env *Env) error
 	}
 	runners := []runner{
-		{"multilogvc", func(env *Env) error {
+		{"multilogvc", EnvOptions{}, func(env *Env) error {
 			_, _, err := RunMLVC(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
 			return err
 		}},
-		{"graphchi", func(env *Env) error {
+		{"graphchi", EnvOptions{}, func(env *Env) error {
 			_, _, err := RunGraphChi(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
 			return err
 		}},
-		{"grafboost", func(env *Env) error {
+		{"grafboost", EnvOptions{}, func(env *Env) error {
 			_, _, err := RunGraFBoost(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
+			return err
+		}},
+		// Cached variants: the error must reach the engine through cache
+		// misses, and the background prefetcher (multilogvc) must either
+		// surface it or drop the warm cleanly — never panic or deadlock.
+		{"multilogvc-cached", EnvOptions{CacheMB: 4}, func(env *Env) error {
+			_, _, err := RunMLVC(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
+			return err
+		}},
+		{"graphchi-cached", EnvOptions{CacheMB: 4}, func(env *Env) error {
+			_, _, err := RunGraphChi(env, &apps.PageRank{}, RunOpts{MaxSupersteps: 5})
 			return err
 		}},
 	}
@@ -39,7 +51,7 @@ func TestFaultInjectionPropagates(t *testing.T) {
 	for _, r := range runners {
 		// Find how many device ops a clean run needs, then fail at a few
 		// depths inside that window.
-		env, err := Prepare(ds, EnvOptions{})
+		env, err := Prepare(ds, r.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +64,7 @@ func TestFaultInjectionPropagates(t *testing.T) {
 			t.Fatalf("%s: too few ops (%d) to inject into", r.name, total)
 		}
 		for _, depth := range []int64{0, 1, total / 4, total / 2} {
-			env, err := Prepare(ds, EnvOptions{})
+			env, err := Prepare(ds, r.opts)
 			if err != nil {
 				t.Fatal(err)
 			}

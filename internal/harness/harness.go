@@ -14,6 +14,7 @@ import (
 	"multilogvc/internal/graphchi"
 	"multilogvc/internal/graphio"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/pagecache"
 	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
 )
@@ -23,6 +24,12 @@ import (
 // writer (-json DIR) so benchmark trajectories are machine-readable
 // instead of being parsed back out of text tables.
 var ReportSink func(*metrics.Report)
+
+// DefaultCacheMB, when > 0, attaches a page cache of that size (MiB) to
+// every environment Prepare builds, unless the EnvOptions override it.
+// mlvc-bench wires it to -cache-mb so the whole experiment suite runs
+// cached without threading a knob through every experiment.
+var DefaultCacheMB int
 
 func emitReport(r *metrics.Report) {
 	if ReportSink != nil {
@@ -129,6 +136,8 @@ type Env struct {
 	DS        Dataset
 	MemBudget int64
 	PageSize  int
+	// Cache is the page cache attached to Dev, nil when uncached.
+	Cache *pagecache.Cache
 }
 
 // EnvOptions tunes Prepare.
@@ -143,6 +152,26 @@ type EnvOptions struct {
 	MemBudget int64
 	// Dir backs the device with real files when non-empty.
 	Dir string
+	// CacheMB attaches a page cache of that size (MiB): > 0 sets the
+	// size, 0 falls back to DefaultCacheMB, < 0 forces uncached.
+	CacheMB int
+}
+
+// attachCache resolves opts.CacheMB against DefaultCacheMB and attaches
+// the cache to dev. Must run before any IO on the device.
+func (o EnvOptions) attachCache(dev *ssd.Device) *pagecache.Cache {
+	mb := o.CacheMB
+	if mb == 0 {
+		mb = DefaultCacheMB
+	}
+	if mb <= 0 {
+		return nil
+	}
+	c := pagecache.FromMB(mb, dev.PageSize())
+	if c != nil {
+		dev.AttachCache(c)
+	}
+	return c
 }
 
 // Prepare builds the CSR graph for ds on a fresh device.
@@ -164,6 +193,7 @@ func Prepare(ds Dataset, opts EnvOptions) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache := opts.attachCache(dev)
 	// Interval budget = the sort share of the memory budget (§V-A1).
 	ivBudget := opts.MemBudget * 75 / 100
 	g, err := csr.Build(dev, ds.Name, ds.Edges, csr.BuildOptions{
@@ -173,7 +203,7 @@ func Prepare(ds Dataset, opts EnvOptions) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Dev: dev, Graph: g, DS: ds, MemBudget: opts.MemBudget, PageSize: opts.PageSize}, nil
+	return &Env{Dev: dev, Graph: g, DS: ds, MemBudget: opts.MemBudget, PageSize: opts.PageSize, Cache: cache}, nil
 }
 
 // RunOpts carries the per-run knobs shared by all engines.
@@ -200,6 +230,11 @@ func (o RunOpts) budget(env *Env) int64 {
 
 // RunMLVC runs prog on the MultiLogVC engine.
 func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, error) {
+	var pf *pagecache.Prefetcher
+	if env.Cache != nil {
+		pf = pagecache.NewPrefetcher(8)
+		defer pf.Close()
+	}
 	eng := core.New(env.Graph, core.Config{
 		MemoryBudget:    o.budget(env),
 		MaxSupersteps:   o.MaxSupersteps,
@@ -208,6 +243,8 @@ func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, e
 		DisableCombiner: o.DisableCombiner,
 		DisableFusing:   o.DisableFusing,
 		Workers:         o.Workers,
+		Cache:           env.Cache,
+		Prefetcher:      pf,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {
@@ -223,6 +260,7 @@ func RunGraphChi(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint3
 		MaxSupersteps: o.MaxSupersteps,
 		StopAfter:     o.StopAfter,
 		Workers:       o.Workers,
+		Cache:         env.Cache,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {
@@ -240,6 +278,7 @@ func RunGraFBoost(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint
 		StopAfter:     o.StopAfter,
 		Adapted:       o.Adapted,
 		Workers:       o.Workers,
+		Cache:         env.Cache,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {
@@ -269,6 +308,7 @@ func PrepareWeighted(ds Dataset, wedges []graphio.WeightedEdge, opts EnvOptions)
 	if err != nil {
 		return nil, err
 	}
+	cache := opts.attachCache(dev)
 	g, err := csr.BuildWeighted(dev, ds.Name, wedges, csr.BuildOptions{
 		NumVertices:    ds.N,
 		IntervalBudget: opts.MemBudget * 75 / 100,
@@ -276,7 +316,7 @@ func PrepareWeighted(ds Dataset, wedges []graphio.WeightedEdge, opts EnvOptions)
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Dev: dev, Graph: g, DS: ds, MemBudget: opts.MemBudget, PageSize: opts.PageSize}, nil
+	return &Env{Dev: dev, Graph: g, DS: ds, MemBudget: opts.MemBudget, PageSize: opts.PageSize, Cache: cache}, nil
 }
 
 // RunGraphChiWeighted runs prog on the weighted shard baseline.
@@ -285,6 +325,7 @@ func RunGraphChiWeighted(env *Env, wedges []graphio.WeightedEdge, prog vc.Progra
 		MaxSupersteps: o.MaxSupersteps,
 		StopAfter:     o.StopAfter,
 		Workers:       o.Workers,
+		Cache:         env.Cache,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {

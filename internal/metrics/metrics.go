@@ -39,6 +39,17 @@ type SuperstepStats struct {
 	CorrectPredicted  uint64 `json:"correct_predicted,omitempty"`  // predictions that were inefficient again
 	UtilPagesTouched  uint64 `json:"util_pages_touched,omitempty"` // distinct colidx pages whose utilization was measured
 
+	// Page-cache accounting for the superstep: per-step deltas of the
+	// buffer pool's counters (see internal/pagecache). All zero when the
+	// run is uncached, which keeps omitempty exports byte-identical to
+	// pre-cache baselines.
+	CacheHits       uint64 `json:"cache_hits,omitempty"`
+	CacheMisses     uint64 `json:"cache_misses,omitempty"`
+	CacheEvictions  uint64 `json:"cache_evictions,omitempty"`
+	PrefetchInserts uint64 `json:"prefetch_inserts,omitempty"` // pages warmed by the prefetcher
+	PrefetchHits    uint64 `json:"prefetch_hits,omitempty"`    // warmed pages that saw a demand hit
+	PrefetchDropped uint64 `json:"prefetch_dropped,omitempty"` // warm attempts refused by backpressure
+
 	// MsgSkew is the per-interval message imbalance of the superstep:
 	// max interval log volume over the mean across all intervals (1.0 =
 	// perfectly balanced; 0 when no messages flowed). Engines that do not
@@ -56,6 +67,24 @@ type SuperstepStats struct {
 // Total returns storage + compute time for the superstep.
 func (s SuperstepStats) Total() time.Duration { return s.StorageTime + s.ComputeTime }
 
+// CacheHitRate returns the superstep's cache hit rate, or 0 when the run
+// was uncached (no accesses recorded).
+func (s SuperstepStats) CacheHitRate() float64 {
+	if t := s.CacheHits + s.CacheMisses; t > 0 {
+		return float64(s.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// PrefetchAccuracy returns the share of pages warmed this superstep that
+// saw a demand hit, or 0 when nothing was prefetched.
+func (s SuperstepStats) PrefetchAccuracy() float64 {
+	if s.PrefetchInserts > 0 {
+		return float64(s.PrefetchHits) / float64(s.PrefetchInserts)
+	}
+	return 0
+}
+
 // Report is the outcome of one engine run.
 type Report struct {
 	Engine string
@@ -70,6 +99,14 @@ type Report struct {
 	StorageTime  time.Duration
 	ComputeTime  time.Duration
 	WallTime     time.Duration // measured end-to-end host time
+
+	// Page-cache totals over the run (all zero for uncached runs).
+	CacheHits       uint64
+	CacheMisses     uint64
+	CacheEvictions  uint64
+	PrefetchInserts uint64
+	PrefetchHits    uint64
+	PrefetchDropped uint64
 }
 
 // TotalTime is the modeled run time: storage (virtual) + compute (host).
@@ -88,12 +125,37 @@ func (r *Report) Finish() {
 	}
 	r.PagesRead, r.PagesWritten = 0, 0
 	r.StorageTime, r.ComputeTime = 0, 0
+	r.CacheHits, r.CacheMisses, r.CacheEvictions = 0, 0, 0
+	r.PrefetchInserts, r.PrefetchHits, r.PrefetchDropped = 0, 0, 0
 	for _, s := range r.Supersteps {
 		r.PagesRead += s.PagesRead
 		r.PagesWritten += s.PagesWritten
 		r.StorageTime += s.StorageTime
 		r.ComputeTime += s.ComputeTime
+		r.CacheHits += s.CacheHits
+		r.CacheMisses += s.CacheMisses
+		r.CacheEvictions += s.CacheEvictions
+		r.PrefetchInserts += s.PrefetchInserts
+		r.PrefetchHits += s.PrefetchHits
+		r.PrefetchDropped += s.PrefetchDropped
 	}
+}
+
+// CacheHitRate returns the run-wide cache hit rate (0 for uncached runs).
+func (r *Report) CacheHitRate() float64 {
+	if t := r.CacheHits + r.CacheMisses; t > 0 {
+		return float64(r.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// PrefetchAccuracy returns the run-wide share of warmed pages that saw a
+// demand hit (0 when nothing was prefetched).
+func (r *Report) PrefetchAccuracy() float64 {
+	if r.PrefetchInserts > 0 {
+		return float64(r.PrefetchHits) / float64(r.PrefetchInserts)
+	}
+	return 0
 }
 
 // TotalPages returns pages read + written.
@@ -126,13 +188,19 @@ func PageRatio(base, r *Report) float64 {
 	return float64(base.TotalPages()) / float64(r.TotalPages())
 }
 
-// String summarizes the report in one line.
+// String summarizes the report in one line (two when a cache was active).
 func (r *Report) String() string {
-	return fmt.Sprintf("%s/%s on %s: %d supersteps, total=%v (storage=%v compute=%v), wall=%v, pages r/w=%d/%d, converged=%v",
+	s := fmt.Sprintf("%s/%s on %s: %d supersteps, total=%v (storage=%v compute=%v), wall=%v, pages r/w=%d/%d, converged=%v",
 		r.Engine, r.App, r.Graph, len(r.Supersteps), r.TotalTime().Round(time.Microsecond),
 		r.StorageTime.Round(time.Microsecond), r.ComputeTime.Round(time.Microsecond),
 		r.WallTime.Round(time.Microsecond),
 		r.PagesRead, r.PagesWritten, r.Converged)
+	if r.CacheHits+r.CacheMisses > 0 {
+		s += fmt.Sprintf("\n  cache: %.1f%% hit (%d hits, %d misses, %d evictions), prefetch: %d warmed, %.1f%% useful, %d dropped",
+			100*r.CacheHitRate(), r.CacheHits, r.CacheMisses, r.CacheEvictions,
+			r.PrefetchInserts, 100*r.PrefetchAccuracy(), r.PrefetchDropped)
+	}
+	return s
 }
 
 // reportJSON is the machine-readable report schema: the raw fields plus
@@ -155,6 +223,15 @@ type reportJSON struct {
 	Total        string        `json:"total"`
 	Wall         string        `json:"wall"`
 	StorageFrac  float64       `json:"storage_fraction"`
+
+	CacheHits       uint64  `json:"cache_hits,omitempty"`
+	CacheMisses     uint64  `json:"cache_misses,omitempty"`
+	CacheEvictions  uint64  `json:"cache_evictions,omitempty"`
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
+	PrefetchInserts uint64  `json:"prefetch_inserts,omitempty"`
+	PrefetchHits    uint64  `json:"prefetch_hits,omitempty"`
+	PrefetchDropped uint64  `json:"prefetch_dropped,omitempty"`
+	PrefetchAcc     float64 `json:"prefetch_accuracy,omitempty"`
 
 	Supersteps []SuperstepStats `json:"supersteps"`
 }
@@ -179,7 +256,17 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Total:        r.TotalTime().Round(time.Microsecond).String(),
 		Wall:         r.WallTime.Round(time.Microsecond).String(),
 		StorageFrac:  r.StorageFraction(),
-		Supersteps:   r.Supersteps,
+
+		CacheHits:       r.CacheHits,
+		CacheMisses:     r.CacheMisses,
+		CacheEvictions:  r.CacheEvictions,
+		CacheHitRate:    r.CacheHitRate(),
+		PrefetchInserts: r.PrefetchInserts,
+		PrefetchHits:    r.PrefetchHits,
+		PrefetchDropped: r.PrefetchDropped,
+		PrefetchAcc:     r.PrefetchAccuracy(),
+
+		Supersteps: r.Supersteps,
 	})
 }
 
@@ -200,7 +287,15 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		StorageTime:  in.StorageTime,
 		ComputeTime:  in.ComputeTime,
 		WallTime:     in.WallTime,
-		Supersteps:   in.Supersteps,
+
+		CacheHits:       in.CacheHits,
+		CacheMisses:     in.CacheMisses,
+		CacheEvictions:  in.CacheEvictions,
+		PrefetchInserts: in.PrefetchInserts,
+		PrefetchHits:    in.PrefetchHits,
+		PrefetchDropped: in.PrefetchDropped,
+
+		Supersteps: in.Supersteps,
 	}
 	return nil
 }

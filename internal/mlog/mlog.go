@@ -308,6 +308,29 @@ func (l *Log) Read(interval int, fn func(dst, src, data uint32)) error {
 	return nil
 }
 
+// FilePages returns interval iv's device-resident log file and its data
+// page indices. The engine's prefetcher warms these while the previous
+// batch computes; only pages already evicted to the device count, since
+// in-memory buffers need no warming. Returns (nil, nil) when the interval
+// has nothing on the device.
+func (l *Log) FilePages(iv int) (*ssd.File, []int) {
+	l.mu[iv].Lock()
+	f := l.files[iv]
+	l.mu[iv].Unlock()
+	if f == nil {
+		return nil, nil
+	}
+	n := f.DataPages()
+	if n == 0 {
+		return nil, nil
+	}
+	pages := make([]int, n)
+	for i := range pages {
+		pages[i] = i
+	}
+	return f, pages
+}
+
 // ResetAll truncates every interval log and zeroes the counters, readying
 // the generation for reuse.
 func (l *Log) ResetAll() error {

@@ -27,6 +27,11 @@ type LiveVars struct {
 	EdgeLogHitRate *expvar.Float // share of adjacency pages served from the edge log
 	MsgSkew        *expvar.Float // per-interval message skew (max/mean) of that superstep
 	Runs           *expvar.Int   // engine runs started in this process
+
+	// Page-cache gauges: zero unless a run attached a cache (-cache-mb).
+	CacheHitRate  *expvar.Float // hit rate of the latest superstep
+	CacheResident *expvar.Int   // pages currently resident in the cache
+	PrefetchAcc   *expvar.Float // prefetch accuracy of the latest superstep
 }
 
 var (
@@ -47,6 +52,9 @@ func Live() *LiveVars {
 			EdgeLogHitRate: expvar.NewFloat("mlvc.edgelog_hit_rate"),
 			MsgSkew:        expvar.NewFloat("mlvc.msg_skew"),
 			Runs:           expvar.NewInt("mlvc.runs"),
+			CacheHitRate:   expvar.NewFloat("mlvc.cache_hit_rate"),
+			CacheResident:  expvar.NewInt("mlvc.cache_resident_pages"),
+			PrefetchAcc:    expvar.NewFloat("mlvc.prefetch_accuracy"),
 		}
 	})
 	return liveVars

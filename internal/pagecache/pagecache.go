@@ -1,0 +1,416 @@
+// Package pagecache implements a sharded buffer-pool page cache that sits
+// between the engines and the simulated flash device (internal/ssd).
+//
+// MultiLogVC's CSR layout already narrows each superstep's reads to the
+// pages holding active vertices, but the engines re-fetch those pages from
+// the device on every superstep even when the active set barely changes.
+// FlashGraph showed that a compact page cache in front of an SSD is the
+// single biggest lever for semi-external graph engines; this package adds
+// that lever without touching correctness: reads are served from cached
+// page copies when possible, writes go through to the device and update
+// resident copies in place, and truncation invalidates a file's pages.
+//
+// Eviction is CLOCK (second chance): a hit sets a frame's reference bit;
+// the eviction hand clears reference bits until it finds a cold, unpinned
+// frame. Pinned frames are never evicted. Pages inserted by the
+// prefetcher (see Prefetcher) start cold and may only claim frames that
+// are already cold and unpinned — prefetch never evicts hotter pages,
+// which is the backpressure rule that keeps a mispredicting prefetcher
+// from thrashing the demand working set.
+//
+// The cache identifies pages by the owning file's device-assigned ID plus
+// the page index, so reopened or recreated files can never alias stale
+// cached contents.
+package pagecache
+
+import (
+	"sync"
+)
+
+// DefaultShards is the number of independently locked cache shards.
+const DefaultShards = 8
+
+// Stats is a snapshot of the cache counters. Like ssd.Stats it is a plain
+// value with a Sub method, so engines can compute per-superstep deltas by
+// snapshotting before and after.
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+
+	Inserts   uint64 `json:"inserts"`
+	Evictions uint64 `json:"evictions"`
+	Writes    uint64 `json:"writes"` // write-through updates of resident pages
+
+	PrefetchInserts uint64 `json:"prefetch_inserts"` // pages inserted by the prefetcher
+	PrefetchHits    uint64 `json:"prefetch_hits"`    // first demand hit on a prefetched page
+	PrefetchDropped uint64 `json:"prefetch_dropped"` // prefetch inserts refused by backpressure
+
+	PinSkips      uint64 `json:"pin_skips"` // eviction scans that stepped over a pinned frame
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Sub returns s - t, counter-wise; t must be an earlier snapshot.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Hits:            s.Hits - t.Hits,
+		Misses:          s.Misses - t.Misses,
+		Inserts:         s.Inserts - t.Inserts,
+		Evictions:       s.Evictions - t.Evictions,
+		Writes:          s.Writes - t.Writes,
+		PrefetchInserts: s.PrefetchInserts - t.PrefetchInserts,
+		PrefetchHits:    s.PrefetchHits - t.PrefetchHits,
+		PrefetchDropped: s.PrefetchDropped - t.PrefetchDropped,
+		PinSkips:        s.PinSkips - t.PinSkips,
+		Invalidations:   s.Invalidations - t.Invalidations,
+	}
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// PrefetchAccuracy returns the share of prefetched pages that saw a
+// demand hit, or 0 when nothing was prefetched.
+func (s Stats) PrefetchAccuracy() float64 {
+	if s.PrefetchInserts > 0 {
+		return float64(s.PrefetchHits) / float64(s.PrefetchInserts)
+	}
+	return 0
+}
+
+// frame is one cached page.
+type frame struct {
+	key        uint64
+	data       []byte
+	ref        bool  // CLOCK reference bit
+	prefetched bool  // inserted by prefetch, no demand hit yet
+	pins       int32 // pinned frames are never evicted
+}
+
+// shard is an independently locked CLOCK ring.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   []frame
+	hand     int
+	index    map[uint64]int // key -> frame slot
+	stats    Stats
+}
+
+// Cache is a sharded buffer pool for device pages. All methods are safe
+// for concurrent use. Page data is copied in and out; callers never hold
+// references into cache memory.
+type Cache struct {
+	pageSize int
+	shards   []shard
+}
+
+// New creates a cache holding up to capacityPages pages of pageSize bytes
+// each, spread over DefaultShards shards. A capacity below one page per
+// shard shrinks the shard count so every shard holds at least one page.
+func New(capacityPages, pageSize int) *Cache {
+	return NewSharded(capacityPages, pageSize, DefaultShards)
+}
+
+// FromMB creates a cache sized in whole mebibytes, the unit the -cache-mb
+// CLI knob uses. mb <= 0 returns nil (caching disabled).
+func FromMB(mb, pageSize int) *Cache {
+	if mb <= 0 {
+		return nil
+	}
+	pages := mb << 20 / pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return New(pages, pageSize)
+}
+
+// NewSharded is New with an explicit shard count (tests use one shard for
+// deterministic eviction order).
+func NewSharded(capacityPages, pageSize, shards int) *Cache {
+	if capacityPages < 1 {
+		capacityPages = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacityPages {
+		shards = capacityPages
+	}
+	c := &Cache{pageSize: pageSize, shards: make([]shard, shards)}
+	per := capacityPages / shards
+	extra := capacityPages % shards
+	for i := range c.shards {
+		cap := per
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = shard{capacity: cap, index: make(map[uint64]int, cap)}
+	}
+	return c
+}
+
+// PageSize returns the page size the cache was built for.
+func (c *Cache) PageSize() int { return c.pageSize }
+
+// CapacityPages returns the total frame capacity.
+func (c *Cache) CapacityPages() int {
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].capacity
+	}
+	return total
+}
+
+// pageKey packs a file ID and page index into the cache key.
+func pageKey(fid uint32, page int) uint64 {
+	return uint64(fid)<<32 | uint64(uint32(page))
+}
+
+// shardOf picks the shard for a key (fibonacci hashing of the packed key).
+func (c *Cache) shardOf(key uint64) *shard {
+	h := key * 0x9E3779B97F4A7C15
+	return &c.shards[h>>33%uint64(len(c.shards))]
+}
+
+// Get copies the cached page into dst (when dst is non-nil) and reports
+// whether the page was resident. A hit sets the frame's reference bit; the
+// first demand hit on a prefetched page counts toward prefetch accuracy.
+func (c *Cache) Get(fid uint32, page int, dst []byte) bool {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		return false
+	}
+	f := &s.frames[i]
+	if dst != nil {
+		copy(dst, f.data)
+	}
+	f.ref = true
+	if f.prefetched {
+		f.prefetched = false
+		s.stats.PrefetchHits++
+	}
+	s.stats.Hits++
+	return true
+}
+
+// Contains reports residency without touching reference bits or counters.
+func (c *Cache) Contains(fid uint32, page int) bool {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	_, ok := s.index[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// Put inserts (or refreshes) a page copy. Demand inserts (prefetch ==
+// false) evict with CLOCK second chance and enter hot (reference bit
+// set). Prefetch inserts enter cold and may only claim a frame that is
+// already cold and unpinned; when the whole shard is hot or pinned the
+// insert is refused and counted as dropped — prefetch never evicts
+// pinned or hotter pages. Returns whether the page is now resident.
+func (c *Cache) Put(fid uint32, page int, data []byte, prefetch bool) bool {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if i, ok := s.index[key]; ok {
+		f := &s.frames[i]
+		copy(f.data, data)
+		if !prefetch {
+			f.ref = true
+		}
+		return true
+	}
+
+	if len(s.frames) < s.capacity {
+		s.frames = append(s.frames, frame{
+			key:        key,
+			data:       append(make([]byte, 0, len(data)), data...),
+			ref:        !prefetch,
+			prefetched: prefetch,
+		})
+		s.index[key] = len(s.frames) - 1
+		s.noteInsert(prefetch)
+		return true
+	}
+
+	victim := s.findVictim(prefetch)
+	if victim < 0 {
+		if prefetch {
+			s.stats.PrefetchDropped++
+		}
+		return false
+	}
+	f := &s.frames[victim]
+	delete(s.index, f.key)
+	s.stats.Evictions++
+	f.key = key
+	f.data = f.data[:0]
+	f.data = append(f.data, data...)
+	f.ref = !prefetch
+	f.prefetched = prefetch
+	f.pins = 0
+	s.index[key] = victim
+	s.noteInsert(prefetch)
+	return true
+}
+
+func (s *shard) noteInsert(prefetch bool) {
+	s.stats.Inserts++
+	if prefetch {
+		s.stats.PrefetchInserts++
+	}
+}
+
+// findVictim advances the CLOCK hand to an evictable frame and returns
+// its slot, or -1 when none qualifies. Demand eviction gives referenced
+// frames a second chance (clearing the bit); prefetch eviction may not
+// demote hot frames, so it only takes frames that are already cold.
+func (s *shard) findVictim(prefetch bool) int {
+	limit := 2 * len(s.frames)
+	if prefetch {
+		limit = len(s.frames)
+	}
+	for step := 0; step < limit; step++ {
+		i := s.hand
+		s.hand = (s.hand + 1) % len(s.frames)
+		f := &s.frames[i]
+		if f.pins > 0 {
+			s.stats.PinSkips++
+			continue
+		}
+		if f.ref {
+			if !prefetch {
+				f.ref = false // second chance
+			}
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// Write updates a resident page copy in place (write-through from the
+// device layer). A page that is not resident is left alone: writes do not
+// populate the cache, they only keep it coherent.
+func (c *Cache) Write(fid uint32, page int, data []byte) {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if i, ok := s.index[key]; ok {
+		copy(s.frames[i].data, data)
+		s.stats.Writes++
+	}
+	s.mu.Unlock()
+}
+
+// Pin marks a resident page non-evictable and reports whether it was
+// resident. Pins nest; each successful Pin needs one Unpin.
+func (c *Cache) Pin(fid uint32, page int) bool {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	s.frames[i].pins++
+	return true
+}
+
+// Unpin releases one pin. Unpinning a non-resident or unpinned page is a
+// no-op, so releases stay safe across evictions and invalidations.
+func (c *Cache) Unpin(fid uint32, page int) {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if i, ok := s.index[key]; ok && s.frames[i].pins > 0 {
+		s.frames[i].pins--
+	}
+	s.mu.Unlock()
+}
+
+// Invalidate drops one page if resident.
+func (c *Cache) Invalidate(fid uint32, page int) {
+	key := pageKey(fid, page)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if i, ok := s.index[key]; ok {
+		s.dropFrame(i)
+	}
+	s.mu.Unlock()
+}
+
+// InvalidateFile drops every cached page of the file — called on truncate
+// and remove so recycled files never serve stale pages.
+func (c *Cache) InvalidateFile(fid uint32) {
+	for si := range c.shards {
+		s := &c.shards[si]
+		s.mu.Lock()
+		for key, i := range s.index {
+			if uint32(key>>32) == fid {
+				s.dropFrame(i)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// dropFrame invalidates slot i in place: the frame stays in the ring as
+// an empty cold slot keyed to an impossible key, immediately reusable.
+func (s *shard) dropFrame(i int) {
+	f := &s.frames[i]
+	delete(s.index, f.key)
+	f.key = ^uint64(0)
+	f.ref = false
+	f.prefetched = false
+	f.pins = 0
+	s.stats.Invalidations++
+}
+
+// Resident returns the number of pages currently cached.
+func (c *Cache) Resident() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.index)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the summed counters of all shards.
+func (c *Cache) Stats() Stats {
+	var out Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Inserts += st.Inserts
+		out.Evictions += st.Evictions
+		out.Writes += st.Writes
+		out.PrefetchInserts += st.PrefetchInserts
+		out.PrefetchHits += st.PrefetchHits
+		out.PrefetchDropped += st.PrefetchDropped
+		out.PinSkips += st.PinSkips
+		out.Invalidations += st.Invalidations
+	}
+	return out
+}

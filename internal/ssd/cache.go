@@ -1,0 +1,123 @@
+package ssd
+
+import "fmt"
+
+// This file holds the cache-aware read path and the prefetch entry points.
+// With no cache attached none of this code runs; the uncached paths in
+// file.go are byte-for-byte the original device model, which keeps the
+// paper-faithful baselines comparable.
+
+// readPagesCached serves a batch read through the attached cache: hits
+// copy out of memory for free, and only the missing subset is read from
+// the store and charged to the virtual clock — a batch that hits entirely
+// costs zero device time, which is precisely the win a buffer pool buys.
+// Missed pages enter the cache as demand (hot) pages.
+func (f *File) readPagesCached(pages []int, dst []byte) error {
+	ps := f.dev.cfg.PageSize
+	c := f.dev.cache
+	var miss []int   // page indices still needed from the store
+	var missAt []int // their slot in dst
+	for i, p := range pages {
+		if !c.Get(f.id, p, dst[i*ps:(i+1)*ps]) {
+			miss = append(miss, p)
+			missAt = append(missAt, i)
+		}
+	}
+	if len(miss) == 0 {
+		return nil
+	}
+	if err := f.dev.faultCheck(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	np := f.store.numPages()
+	for k, p := range miss {
+		if p < 0 || p >= np {
+			f.mu.Unlock()
+			return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, p, f.name, np)
+		}
+		i := missAt[k]
+		if err := f.store.readPage(p, dst[i*ps:(i+1)*ps]); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.mu.Unlock()
+	f.pagesRead.Add(uint64(len(miss)))
+	f.dev.chargeRead(len(miss), maxPerChannel(f.chanBase, f.dev.cfg.Channels, miss))
+	for k, p := range miss {
+		i := missAt[k]
+		c.Put(f.id, p, dst[i*ps:(i+1)*ps], false)
+	}
+	return nil
+}
+
+// WarmPages fetches the listed pages into the cache as prefetched (cold)
+// pages, optionally pinning them, and returns the pages it actually
+// fetched and inserted. Already-resident and out-of-range pages are
+// skipped; an insert refused by backpressure stops the job, since a shard
+// too hot for one page is too hot for the rest. Only fetched pages are
+// charged to the virtual clock. It is a no-op without an attached cache.
+func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
+	c := f.dev.cache
+	if c == nil || len(pages) == 0 {
+		return nil, nil
+	}
+	var warmed []int
+	buf := make([]byte, f.dev.cfg.PageSize)
+	checked := false
+	for _, p := range pages {
+		if c.Contains(f.id, p) {
+			continue
+		}
+		if !checked {
+			// One fault credit per warm batch, matching the demand paths'
+			// one credit per batch submission.
+			if err := f.dev.faultCheck(); err != nil {
+				return warmed, err
+			}
+			checked = true
+		}
+		f.mu.Lock()
+		if p < 0 || p >= f.store.numPages() {
+			f.mu.Unlock()
+			continue
+		}
+		err := f.store.readPage(p, buf)
+		f.mu.Unlock()
+		if err != nil {
+			f.chargeWarm(warmed)
+			return warmed, err
+		}
+		if !c.Put(f.id, p, buf, true) {
+			break // backpressure: cache is hot or pinned solid
+		}
+		if pin {
+			c.Pin(f.id, p)
+		}
+		warmed = append(warmed, p)
+	}
+	f.chargeWarm(warmed)
+	return warmed, nil
+}
+
+// chargeWarm accounts the fetched prefetch pages as one read batch.
+func (f *File) chargeWarm(warmed []int) {
+	if len(warmed) == 0 {
+		return
+	}
+	f.pagesRead.Add(uint64(len(warmed)))
+	f.dev.chargeRead(len(warmed), maxPerChannel(f.chanBase, f.dev.cfg.Channels, warmed))
+}
+
+// UnpinPages releases one pin on each listed page. Pages evicted or
+// invalidated in the meantime are skipped safely.
+func (f *File) UnpinPages(pages []int) {
+	c := f.dev.cache
+	if c == nil {
+		return
+	}
+	for _, p := range pages {
+		c.Unpin(f.id, p)
+	}
+}

@@ -18,6 +18,7 @@ import (
 // Files are safe for concurrent use.
 type File struct {
 	dev      *Device
+	id       uint32 // device-assigned, identifies this file's pages in the cache
 	name     string
 	chanBase uint32
 
@@ -37,6 +38,9 @@ var ErrOutOfRange = errors.New("ssd: page index out of range")
 
 // Name returns the file's name on the device.
 func (f *File) Name() string { return f.name }
+
+// ID returns the device-assigned file ID used as the cache namespace.
+func (f *File) ID() uint32 { return f.id }
 
 // NumPages returns the number of allocated pages.
 func (f *File) NumPages() int {
@@ -66,6 +70,10 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 	if len(buf) != f.dev.cfg.PageSize {
 		return ErrShortBuffer
 	}
+	c := f.dev.cache
+	if c != nil && c.Get(f.id, idx, buf) {
+		return nil
+	}
 	if err := f.dev.faultCheck(); err != nil {
 		return err
 	}
@@ -81,6 +89,9 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 	}
 	f.pagesRead.Add(1)
 	f.dev.chargeRead(1, 1)
+	if c != nil {
+		c.Put(f.id, idx, buf, false)
+	}
 	return nil
 }
 
@@ -95,6 +106,9 @@ func (f *File) ReadPages(pages []int, dst []byte) error {
 	}
 	if len(pages) == 0 {
 		return nil
+	}
+	if f.dev.cache != nil {
+		return f.readPagesCached(pages, dst)
 	}
 	if err := f.dev.faultCheck(); err != nil {
 		return err
@@ -126,6 +140,13 @@ func (f *File) ReadPageRange(start, n int, dst []byte) error {
 	}
 	if n == 0 {
 		return nil
+	}
+	if f.dev.cache != nil {
+		pages := make([]int, n)
+		for i := range pages {
+			pages[i] = start + i
+		}
+		return f.readPagesCached(pages, dst)
 	}
 	if err := f.dev.faultCheck(); err != nil {
 		return err
@@ -170,6 +191,9 @@ func (f *File) WritePage(idx int, data []byte) error {
 	}
 	f.pagesWritten.Add(1)
 	f.dev.chargeWrite(1, 1)
+	if c := f.dev.cache; c != nil {
+		c.Write(f.id, idx, data)
+	}
 	return nil
 }
 
@@ -202,6 +226,11 @@ func (f *File) WritePageRange(start int, data []byte) error {
 	f.mu.Unlock()
 	f.pagesWritten.Add(uint64(n))
 	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	if c := f.dev.cache; c != nil {
+		for i := 0; i < n; i++ {
+			c.Write(f.id, start+i, data[i*ps:(i+1)*ps])
+		}
+	}
 	return nil
 }
 
@@ -225,6 +254,9 @@ func (f *File) AppendPage(data []byte) (int, error) {
 	}
 	f.pagesWritten.Add(1)
 	f.dev.chargeWrite(1, 1)
+	if c := f.dev.cache; c != nil {
+		c.Write(f.id, idx, data)
+	}
 	return idx, nil
 }
 
@@ -254,6 +286,11 @@ func (f *File) AppendPages(data []byte) error {
 	f.mu.Unlock()
 	f.pagesWritten.Add(uint64(n))
 	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	if c := f.dev.cache; c != nil {
+		for i := 0; i < n; i++ {
+			c.Write(f.id, start+i, data[i*ps:(i+1)*ps])
+		}
+	}
 	return nil
 }
 
@@ -264,6 +301,9 @@ func (f *File) Truncate() error {
 	err := f.store.truncate(0)
 	f.size = 0
 	f.mu.Unlock()
+	if c := f.dev.cache; c != nil {
+		c.InvalidateFile(f.id)
+	}
 	if err != nil {
 		return err
 	}

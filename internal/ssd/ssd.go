@@ -127,14 +127,49 @@ func (s Stats) Sub(t Stats) Stats {
 
 // Device is a simulated multi-channel SSD hosting named files.
 type Device struct {
-	cfg Config
+	cfg   Config
+	cache PageCache // optional buffer pool; see AttachCache
 
-	mu        sync.Mutex
-	files     map[string]*File
-	stats     Stats
-	failAfter int64 // remaining ops before injected failures; -1 = off
-	failErr   error
+	mu         sync.Mutex
+	files      map[string]*File
+	nextFileID uint32
+	stats      Stats
+	failAfter  int64 // remaining ops before injected failures; -1 = off
+	failErr    error
 }
+
+// PageCache is the buffer-pool interface the device consults on reads and
+// keeps coherent on writes. Pages are identified by the owning file's
+// device-assigned ID plus the page index, so recycled file names cannot
+// alias stale cached data. internal/pagecache provides the implementation;
+// the interface lives here so ssd does not import it.
+type PageCache interface {
+	// Get copies the cached page into dst (when non-nil) and reports
+	// whether it was resident.
+	Get(fid uint32, page int, dst []byte) bool
+	// Put inserts a page copy. Prefetch inserts are subject to
+	// backpressure and may be refused; the return reports residency.
+	Put(fid uint32, page int, data []byte, prefetch bool) bool
+	// Contains reports residency without counting a hit or miss.
+	Contains(fid uint32, page int) bool
+	// Write updates the cached copy of a page if resident (write-through
+	// coherence); it never populates the cache.
+	Write(fid uint32, page int, data []byte)
+	// Pin marks a resident page non-evictable; Unpin releases one pin.
+	Pin(fid uint32, page int) bool
+	Unpin(fid uint32, page int)
+	// InvalidateFile drops every cached page of a file.
+	InvalidateFile(fid uint32)
+}
+
+// AttachCache installs a page cache in front of the device. Cached reads
+// are served from memory and charge nothing to the virtual storage clock —
+// that is the point. Must be called before any IO is issued; a nil cache
+// leaves the device uncached (the default, matching the paper's model).
+func (d *Device) AttachCache(c PageCache) { d.cache = c }
+
+// Cache returns the attached page cache, or nil.
+func (d *Device) Cache() PageCache { return d.cache }
 
 // ErrInjected is the default error produced by FailAfter.
 var ErrInjected = errors.New("ssd: injected device failure")
@@ -214,7 +249,8 @@ func (d *Device) adoptDir() error {
 		if err != nil {
 			return err
 		}
-		f := &File{dev: d, name: name, chanBase: nameHash(name), store: st}
+		d.nextFileID++
+		f := &File{dev: d, id: d.nextFileID, name: name, chanBase: nameHash(name), store: st}
 		// Without external metadata the best logical-size guess is the
 		// allocated extent; csr.Open overrides it from its meta file.
 		f.size = int64(st.numPages()) * int64(d.cfg.PageSize)
@@ -263,7 +299,8 @@ func (d *Device) Create(name string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &File{dev: d, name: name, chanBase: nameHash(name), store: st}
+	d.nextFileID++
+	f := &File{dev: d, id: d.nextFileID, name: name, chanBase: nameHash(name), store: st}
 	d.files[name] = f
 	d.stats.FilesCreated++
 	return f, nil
@@ -301,6 +338,9 @@ func (d *Device) Remove(name string) error {
 	}
 	delete(d.files, name)
 	d.stats.FilesRemoved++
+	if d.cache != nil {
+		d.cache.InvalidateFile(f.id)
+	}
 	return f.store.close()
 }
 

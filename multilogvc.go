@@ -39,6 +39,7 @@ import (
 	"multilogvc/internal/graphio"
 	"multilogvc/internal/metrics"
 	"multilogvc/internal/obsv"
+	"multilogvc/internal/pagecache"
 	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
 )
@@ -92,11 +93,19 @@ type SystemOptions struct {
 	// Dir backs the device with real files when non-empty; otherwise
 	// pages live in RAM (still fully accounted).
 	Dir string
+	// CacheMB attaches a buffer-pool page cache of the given size (in
+	// MiB) between the engines and the device: CLOCK eviction, pinning
+	// for in-flight batches, write-through coherence, and — on the
+	// MultiLogVC engine — asynchronous next-interval prefetch. 0 (the
+	// default) runs uncached; page reads always hit the device, which is
+	// what the paper's accounting model measures.
+	CacheMB int
 }
 
 // System owns a storage device and the graphs on it.
 type System struct {
-	dev *ssd.Device
+	dev   *ssd.Device
+	cache *pagecache.Cache // nil when CacheMB == 0
 }
 
 // NewSystem opens a storage device.
@@ -111,11 +120,20 @@ func NewSystem(opts SystemOptions) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dev: dev}, nil
+	s := &System{dev: dev}
+	if c := pagecache.FromMB(opts.CacheMB, dev.PageSize()); c != nil {
+		dev.AttachCache(c)
+		s.cache = c
+	}
+	return s, nil
 }
 
 // Device exposes the underlying simulated device (stats, page size).
 func (s *System) Device() *ssd.Device { return s.dev }
+
+// Cache exposes the attached page cache, or nil when the System is
+// uncached (SystemOptions.CacheMB == 0).
+func (s *System) Cache() *pagecache.Cache { return s.cache }
 
 // GraphOptions configures BuildGraph.
 type GraphOptions struct {
@@ -335,6 +353,11 @@ type RunOptions struct {
 	// the run (MultiLogVC engine only). Disabled tracing costs one pointer
 	// test per stage.
 	Trace *Trace
+	// NoPrefetch disables the asynchronous next-interval prefetcher on
+	// cached Systems (the cache itself stays active). No effect when the
+	// System has no cache or on the baseline engines, which never
+	// prefetch.
+	NoPrefetch bool
 }
 
 // RunResult is a finished run: the report and final vertex values.
@@ -351,6 +374,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			MaxSupersteps: opts.MaxSupersteps,
 			Workers:       opts.Workers,
 			StopAfter:     opts.StopAfter,
+			Cache:         g.sys.cache,
 		}
 		var eng *graphchi.Engine
 		if g.g.HasWeights() {
@@ -370,6 +394,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			Workers:       opts.Workers,
 			Adapted:       opts.Engine == EngineGraFBoostAdapted,
 			StopAfter:     opts.StopAfter,
+			Cache:         g.sys.cache,
 		})
 		res, err := eng.Run(prog)
 		if err != nil {
@@ -377,6 +402,11 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 		}
 		return &RunResult{Report: res.Report, Values: res.Values}, nil
 	default:
+		var pf *pagecache.Prefetcher
+		if g.sys.cache != nil && !opts.NoPrefetch {
+			pf = pagecache.NewPrefetcher(8)
+			defer pf.Close()
+		}
 		eng := core.New(g.g, core.Config{
 			MemoryBudget:    g.memBudget,
 			MaxSupersteps:   opts.MaxSupersteps,
@@ -387,6 +417,8 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			DisableFusing:   opts.DisableFusing,
 			Async:           opts.Async,
 			Trace:           opts.Trace,
+			Cache:           g.sys.cache,
+			Prefetcher:      pf,
 		})
 		res, err := eng.Run(prog)
 		if err != nil {
