@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +50,32 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlvc:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode classifies a failed run so scripts can distinguish fault
+// families, with a one-line diagnosis on stderr:
+//
+//	3  transient retries exhausted — the device recovered too slowly;
+//	   raise -retries or rerun
+//	4  permanent device fault — the device is gone; rebuild it
+//	5  corrupt checkpoint — every committed slot failed validation;
+//	   rerun without -resume to recompute
+//	1  anything else
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, multilogvc.ErrRetriesExhausted):
+		fmt.Fprintln(os.Stderr, "mlvc: transient retries exhausted; raise -retries or rerun")
+		return 3
+	case errors.Is(err, multilogvc.ErrCorruptCheckpoint):
+		fmt.Fprintln(os.Stderr, "mlvc: checkpoint corrupt beyond recovery; rerun without -resume to recompute")
+		return 5
+	case errors.Is(err, multilogvc.ErrDeviceFault):
+		fmt.Fprintln(os.Stderr, "mlvc: permanent device fault; the device must be rebuilt")
+		return 4
+	default:
+		return 1
 	}
 }
 
@@ -61,8 +87,12 @@ func usage() {
   mlvc run   -graph FILE -app NAME -engine NAME [-steps N] [-mem BYTES]
              [-source V] [-weighted] [-async] [-k N]
              [-no-edgelog] [-no-combiner] [-per-superstep]
+             [-checkpoint-every K] [-resume] [-retries N]
              [-trace out.json] [-json report.json] [-listen :6060]
-  mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)`)
+  mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)
+
+exit codes: 1 generic error, 2 usage, 3 transient retries exhausted,
+            4 permanent device fault, 5 corrupt checkpoint`)
 }
 
 func cmdGen(args []string) error {
@@ -191,6 +221,9 @@ func cmdRun(args []string) error {
 	perStep := fs.Bool("per-superstep", false, "print per-superstep stats")
 	cacheMB := fs.Int("cache-mb", 0, "page-cache size in MiB; 0 (default) runs uncached")
 	noPrefetch := fs.Bool("no-prefetch", false, "disable async next-interval prefetch (cache stays on)")
+	retries := fs.Int("retries", 0, "max retries per transient device fault; 0 = default (3), -1 disables")
+	ckptEvery := fs.Int("checkpoint-every", 0, "commit a crash-recovery checkpoint every K supersteps; 0 disables")
+	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint on the device (requires -dir)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span trace (Perfetto-loadable)")
 	jsonPath := fs.String("json", "", "write the run report as JSON")
 	listen := fs.String("listen", "", "serve expvar live metrics and pprof on this address (e.g. :6060)")
@@ -220,6 +253,7 @@ func cmdRun(args []string) error {
 
 	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{
 		PageSize: *pageSize, Channels: *channels, Dir: *dir, CacheMB: *cacheMB,
+		MaxRetries: *retries,
 	})
 	if err != nil {
 		return err
@@ -262,6 +296,8 @@ func cmdRun(args []string) error {
 		Async:           *async,
 		Trace:           trace,
 		NoPrefetch:      *noPrefetch,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
 	})
 	if err != nil {
 		return err

@@ -202,6 +202,23 @@ func (s *Set) CopyFrom(t *Set) {
 	copy(s.words, t.words)
 }
 
+// Words returns a copy of the set's backing 64-bit words, for
+// serialization (checkpointing). Bits past Len are zero.
+func (s *Set) Words() []uint64 {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return w
+}
+
+// SetWords overwrites the set's contents from words previously returned by
+// Words on a set of the same length. Panics on a word-count mismatch.
+func (s *Set) SetWords(words []uint64) {
+	if len(words) != len(s.words) {
+		panic(fmt.Sprintf("bitset: word count mismatch %d != %d", len(words), len(s.words)))
+	}
+	copy(s.words, words)
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	c := New(s.n)

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"multilogvc/internal/bitset"
+	"multilogvc/internal/ckpt"
 	"multilogvc/internal/csr"
 	"multilogvc/internal/edgelog"
 	"multilogvc/internal/metrics"
@@ -91,6 +93,16 @@ type Config struct {
 	// superstep boundary and releases pin epochs one batch after their
 	// pages are consumed. The caller owns the prefetcher's lifecycle.
 	Prefetcher *pagecache.Prefetcher
+	// CheckpointEvery commits a checkpoint to the device every K superstep
+	// boundaries (see internal/ckpt). 0 disables checkpointing.
+	// Checkpoint IO is charged to the device like any other IO and
+	// reported per superstep (SuperstepStats.Checkpoint*).
+	CheckpointEvery int
+	// Resume restarts from the latest valid checkpoint on the device
+	// instead of superstep 0. With no checkpoint present the run starts
+	// fresh; a checkpoint whose every slot is torn or corrupt is an error
+	// (ckpt.ErrCorrupt).
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -147,9 +159,37 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	report := &metrics.Report{Engine: "multilogvc", App: prog.Name(), Graph: name}
 	wallStart := time.Now()
 
-	values, err := csr.CreateValuesFunc(dev, name+".values", n, func(v uint32) uint32 {
-		return prog.InitValue(v, n)
-	})
+	// Resume: load the newest committed checkpoint before creating any
+	// run state, so every unit below initializes straight from it. A
+	// missing checkpoint degrades to a fresh start; a corrupt one (every
+	// slot torn or CRC-invalid) is an error the caller can distinguish
+	// via ckpt.ErrCorrupt.
+	ckptPrefix := name + "." + prog.Name()
+	var rst *ckpt.State
+	var ckptSeq uint64
+	startStep := 0
+	if cfg.Resume {
+		st, err := ckpt.Load(dev, ckptPrefix)
+		switch {
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			// Nothing to resume from: run from superstep 0.
+		case err != nil:
+			return nil, err
+		case st.App != prog.Name() || st.Graph != name || st.NumVertices != n:
+			return nil, fmt.Errorf("core: checkpoint is for %s/%s (%d vertices), run is %s/%s (%d vertices)",
+				st.App, st.Graph, st.NumVertices, prog.Name(), name, n)
+		default:
+			rst = st
+			startStep = st.Step
+			ckptSeq = st.Seq + 1
+		}
+	}
+
+	initValue := func(v uint32) uint32 { return prog.InitValue(v, n) }
+	if rst != nil {
+		initValue = func(v uint32) uint32 { return rst.Values[v] }
+	}
+	values, err := csr.CreateValuesFunc(dev, name+".values", n, initValue)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +257,15 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	live := obsv.Live()
 	live.Runs.Add(1)
 
-	for step := 0; step < cfg.MaxSupersteps; step++ {
+	if rst != nil {
+		if err := restoreState(rst, carry, aux, curLog, elog, pred, report); err != nil {
+			return nil, err
+		}
+		cumProcessed = rst.CumProcessed
+		live.Resumes.Add(1)
+	}
+
+	for step := startStep; step < cfg.MaxSupersteps; step++ {
 		var stepMuts []vc.Mutation
 		if !carry.Any() && curLog.Total() == 0 {
 			converged = true
@@ -302,6 +350,11 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			// GC) do not mutate structure either.
 			return nil, fmt.Errorf("core: structural mutation is not supported for programs with per-in-edge aux state")
 		}
+		if len(stepMuts) > 0 && cfg.CheckpointEvery > 0 {
+			// Checkpoints snapshot run state, not the CSR itself; a
+			// mutated graph would not match the snapshot on resume.
+			return nil, fmt.Errorf("core: structural mutation is not supported with checkpointing enabled")
+		}
 		for _, m := range stepMuts {
 			if m.Add {
 				if err := g.AddEdgeWeighted(m.Src, m.Dst, m.Weight, 0); err != nil {
@@ -342,6 +395,9 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		ss.WriteBatchPages = devDelta.WriteBatchPages
 		ss.ReadLatencyUS = devDelta.ReadLatencyUS
 		ss.WriteLatencyUS = devDelta.WriteLatencyUS
+		ss.TransientFaults = devDelta.TransientFaults
+		ss.Retries = devDelta.Retries
+		ss.RetryBackoff = devDelta.RetryBackoff
 		if cache := cfg.Cache; cache != nil {
 			cd := cache.Stats().Sub(cacheBefore)
 			ss.CacheHits = cd.Hits
@@ -358,6 +414,35 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			stepSpan.Arg("prefetch_warmed", int64(cd.PrefetchInserts))
 		}
 		cumProcessed += ss.Active
+
+		// Checkpoint at the boundary every K supersteps. The snapshot's
+		// IO is charged to the device and folded into this superstep's
+		// stats, so checkpoint overhead shows up in per-step exports and
+		// report totals.
+		if k := cfg.CheckpointEvery; k > 0 && (step+1)%k == 0 {
+			ckSpan := tr.Begin("engine", "checkpoint")
+			ckSpan.Arg("step", int64(step+1))
+			ckBefore := dev.Stats()
+			if err := e.writeCheckpoint(ckptPrefix, ckptSeq, step+1, cumProcessed,
+				values, carry, aux, isAux, curLog, elog, pred, report, ss); err != nil {
+				return nil, err
+			}
+			ckptSeq++
+			ckDelta := dev.Stats().Sub(ckBefore)
+			ss.Checkpoints = 1
+			ss.CheckpointPages = ckDelta.PagesRead + ckDelta.PagesWritten
+			ss.CheckpointTime = ckDelta.StorageTime()
+			ss.PagesRead += ckDelta.PagesRead
+			ss.PagesWritten += ckDelta.PagesWritten
+			ss.StorageTime += ckDelta.StorageTime()
+			ss.TransientFaults += ckDelta.TransientFaults
+			ss.Retries += ckDelta.Retries
+			ss.RetryBackoff += ckDelta.RetryBackoff
+			live.Checkpoints.Add(1)
+			ckSpan.Arg("pages", int64(ss.CheckpointPages))
+			ckSpan.End()
+		}
+
 		report.Supersteps = append(report.Supersteps, ss)
 
 		stepSpan.Arg("active", int64(ss.Active))
@@ -383,6 +468,110 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Report: report, Values: finalValues}, nil
+}
+
+// writeCheckpoint snapshots the run state at the boundary after superstep
+// step-1 (so step is the next superstep to execute) and commits it with
+// ckpt.Save. All reads it issues (value pages, message-log pages, edge-log
+// pages, aux pages) go through the device and are charged as checkpoint
+// overhead by the caller.
+func (e *Engine) writeCheckpoint(prefix string, seq uint64, step int, cumProcessed uint64,
+	values *csr.Values, carry *bitset.Set, aux *csr.Aux, isAux bool,
+	curLog *mlog.Log, elog *edgelog.EdgeLog, pred *edgelog.Predictor,
+	report *metrics.Report, ss metrics.SuperstepStats) error {
+
+	st := &ckpt.State{
+		App:          report.App,
+		Graph:        report.Graph,
+		Seq:          seq,
+		Step:         step,
+		NumVertices:  e.g.NumVertices(),
+		CumProcessed: cumProcessed,
+		Carry:        carry.Words(),
+	}
+	var err error
+	if st.Values, err = values.LoadAll(); err != nil {
+		return err
+	}
+	st.Msgs = make([][]ckpt.MsgRec, curLog.NumIntervals())
+	for iv := range st.Msgs {
+		recs := make([]ckpt.MsgRec, 0, curLog.Count(iv))
+		if err := curLog.Read(iv, func(dst, src, data uint32) {
+			recs = append(recs, ckpt.MsgRec{Dst: dst, Src: src, Data: data})
+		}); err != nil {
+			return err
+		}
+		st.Msgs[iv] = recs
+	}
+	if elog != nil {
+		if _, err := elog.Dump(func(v uint32, nbrs, weights []uint32) {
+			ent := ckpt.ElogEntry{V: v, Nbrs: append([]uint32(nil), nbrs...)}
+			if weights != nil {
+				ent.Weights = append([]uint32(nil), weights...)
+			}
+			st.Elog = append(st.Elog, ent)
+		}); err != nil {
+			return err
+		}
+	}
+	if pred != nil {
+		st.PredActive, st.PredIneff = pred.History()
+	}
+	if isAux {
+		if st.Aux, err = aux.DumpAll(); err != nil {
+			return err
+		}
+	}
+	// Completed supersteps including the current one; its Checkpoint*
+	// fields are zero in the snapshot (the cost is only known after Save).
+	st.Supersteps = append(append([]metrics.SuperstepStats(nil), report.Supersteps...), ss)
+	return ckpt.Save(e.g.Device(), prefix, st)
+}
+
+// restoreState rehydrates every engine unit from a loaded checkpoint: the
+// carry bitset, aux files, the current-generation message log, the edge
+// log (replayed into the next generation, then swapped current), the
+// predictor's history, and the report's completed supersteps.
+func restoreState(rst *ckpt.State, carry *bitset.Set, aux *csr.Aux,
+	curLog *mlog.Log, elog *edgelog.EdgeLog, pred *edgelog.Predictor,
+	report *metrics.Report) error {
+
+	carry.SetWords(rst.Carry)
+	if aux != nil && rst.Aux != nil {
+		if err := aux.RestoreAll(rst.Aux); err != nil {
+			return err
+		}
+	}
+	if len(rst.Msgs) != curLog.NumIntervals() {
+		return fmt.Errorf("core: checkpoint has %d message-log intervals, graph has %d",
+			len(rst.Msgs), curLog.NumIntervals())
+	}
+	for iv, recs := range rst.Msgs {
+		for _, r := range recs {
+			if err := curLog.Append(iv, r.Dst, r.Src, r.Data); err != nil {
+				return err
+			}
+		}
+	}
+	// The edge log is an adjacency cache: replay only when the optimizer
+	// is still on; dropping it costs CSR reads, never correctness.
+	if elog != nil && len(rst.Elog) > 0 {
+		for _, ent := range rst.Elog {
+			if err := elog.LogEdges(ent.V, ent.Nbrs, ent.Weights); err != nil {
+				return err
+			}
+		}
+		if err := elog.EndSuperstep(); err != nil {
+			return err
+		}
+	}
+	if pred != nil && rst.PredActive != nil {
+		pred.RestoreHistory(rst.PredActive, rst.PredIneff)
+	}
+	report.Supersteps = append(report.Supersteps, rst.Supersteps...)
+	report.Resumed = true
+	report.ResumeStep = rst.Step
+	return nil
 }
 
 // maxPrefetchVerts caps how many predicted-active vertices one prefetch
@@ -850,6 +1039,10 @@ func publishLive(live *obsv.LiveVars, ss *metrics.SuperstepStats) {
 	live.MsgSkew.Set(ss.MsgSkew)
 	if adj := ss.ColIdxPagesRead + ss.EdgeLogPagesRead; adj > 0 {
 		live.EdgeLogHitRate.Set(float64(ss.EdgeLogPagesRead) / float64(adj))
+	}
+	if ss.TransientFaults > 0 {
+		live.TransientFaults.Add(int64(ss.TransientFaults))
+		live.Retries.Add(int64(ss.Retries))
 	}
 }
 

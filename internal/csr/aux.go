@@ -51,6 +51,53 @@ func CreateAux(g *Graph, auxName string, init uint32) (*Aux, error) {
 	return a, nil
 }
 
+// DumpAll reads every interval's aux entries with page-batched streaming,
+// one slice per interval. Checkpointing serializes the result.
+func (a *Aux) DumpAll() ([][]uint32, error) {
+	out := make([][]uint32, len(a.files))
+	for i, f := range a.files {
+		entries := a.g.meta.InColIdxSize[i] / 4
+		vals := make([]uint32, entries)
+		r := ssd.NewReaderN(f, entries*4, 0)
+		for j := range vals {
+			v, err := r.U32()
+			if err != nil {
+				return nil, fmt.Errorf("csr: dump aux %q interval %d: %w", a.name, i, err)
+			}
+			vals[j] = v
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// RestoreAll overwrites every interval's aux entries from a DumpAll
+// snapshot, truncating whatever the files held (a crashed run may have
+// left partial writes behind).
+func (a *Aux) RestoreAll(data [][]uint32) error {
+	if len(data) != len(a.files) {
+		return fmt.Errorf("csr: aux %q restore has %d intervals, graph has %d", a.name, len(data), len(a.files))
+	}
+	for i, f := range a.files {
+		if want := a.g.meta.InColIdxSize[i] / 4; int64(len(data[i])) != want {
+			return fmt.Errorf("csr: aux %q interval %d restore has %d entries, want %d", a.name, i, len(data[i]), want)
+		}
+		if err := f.Truncate(); err != nil {
+			return err
+		}
+		w := ssd.NewWriter(f)
+		for _, v := range data[i] {
+			if err := w.WriteU32(v); err != nil {
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // AuxBatch holds the aux slices of a set of active vertices in one
 // interval. Get returns a mutable slice (parallel to the vertex's in-CSR
 // source list); Flush writes dirty entries back with page-granular RMW.

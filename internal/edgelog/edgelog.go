@@ -121,6 +121,46 @@ func (p *Predictor) EndSuperstep() StepStats {
 	return st
 }
 
+// History returns the predictor's rolled-over state at a superstep
+// boundary: the previous superstep's active set (as bitset words) and the
+// pages it measured inefficient, sorted for deterministic serialization.
+// Together with RestoreHistory it lets checkpoints carry the prediction
+// signal across a crash, so a resumed run re-logs the same vertices an
+// uninterrupted run would.
+func (p *Predictor) History() (prevActive []uint64, prevIneff []csr.PageKey) {
+	prevActive = p.prevActive.Words()
+	prevIneff = make([]csr.PageKey, 0, len(p.prevIneff))
+	for k := range p.prevIneff {
+		prevIneff = append(prevIneff, k)
+	}
+	sort.Slice(prevIneff, func(i, j int) bool {
+		a, b := prevIneff[i], prevIneff[j]
+		if a.Side != b.Side {
+			return a.Side < b.Side
+		}
+		if a.Interval != b.Interval {
+			return a.Interval < b.Interval
+		}
+		return a.Page < b.Page
+	})
+	return prevActive, prevIneff
+}
+
+// RestoreHistory overwrites the predictor's previous-superstep state from
+// a checkpoint. The current-superstep accumulators are reset, matching the
+// state right after EndSuperstep.
+func (p *Predictor) RestoreHistory(prevActive []uint64, prevIneff []csr.PageKey) {
+	p.prevActive.SetWords(prevActive)
+	p.currActive.Reset()
+	p.prevIneff = make(map[csr.PageKey]bool, len(prevIneff))
+	for _, k := range prevIneff {
+		p.prevIneff[k] = true
+	}
+	p.currIneff = make(map[csr.PageKey]bool)
+	p.currSeen = make(map[csr.PageKey]bool)
+	p.correct = 0
+}
+
 // EdgeLog stores re-logged out-edge lists. Two generations alternate: the
 // engine logs into the next generation while serving reads from the
 // current one. For weighted graphs each vertex's weights are logged after
@@ -274,6 +314,24 @@ func (e *EdgeLog) Load(verts []uint32, visit func(v uint32, nbrs, weights []uint
 		visit(v, nbrs, weights)
 	}
 	return len(pages), nil
+}
+
+// Dump visits every vertex in the current generation in ascending vertex
+// order with its logged neighbors (and weights, for weighted logs),
+// reading the covering pages in one batch. Checkpointing uses it to
+// serialize the generation that will serve the next superstep. Returns
+// the number of pages read.
+func (e *EdgeLog) Dump(visit func(v uint32, nbrs, weights []uint32)) (int, error) {
+	idx := e.index[e.gen]
+	if len(idx) == 0 {
+		return 0, nil
+	}
+	verts := make([]uint32, 0, len(idx))
+	for v := range idx {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	return e.Load(verts, visit)
 }
 
 // EndSuperstep flushes the next generation to the device and swaps

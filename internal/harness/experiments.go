@@ -557,3 +557,43 @@ func IOBreakdown(size Size) (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// CheckpointOverhead measures the cost of superstep checkpointing:
+// PageRank with no checkpoints, checkpoints every superstep (K=1), and
+// every fifth superstep (K=5). Overhead is the increase in total virtual
+// device time relative to the K=0 baseline.
+func CheckpointOverhead(size Size) (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:   "Checkpoint overhead (pagerank)",
+		Headers: []string{"dataset", "K", "ckpts", "ckpt pages", "pages w", "ckpt time", "storage", "overhead"},
+	}
+	dss, err := Datasets(size)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range dss {
+		var base float64
+		for _, every := range []int{0, 1, 5} {
+			env, err := Prepare(ds, EnvOptions{})
+			if err != nil {
+				return nil, err
+			}
+			rep, _, err := RunMLVC(env, &apps.PageRank{},
+				RunOpts{MaxSupersteps: MaxSupersteps, CheckpointEvery: every})
+			if err != nil {
+				return nil, err
+			}
+			storage := float64(rep.StorageTime)
+			overhead := "-"
+			if every == 0 {
+				base = storage
+			} else if base > 0 {
+				overhead = fmt.Sprintf("+%.1f%%", 100*(storage-base)/base)
+			}
+			t.AddRow(ds.Name, fmt.Sprint(every), fmt.Sprint(rep.Checkpoints),
+				fmt.Sprint(rep.CheckpointPages), fmt.Sprint(rep.PagesWritten),
+				metrics.D(rep.CheckpointTime), metrics.D(rep.StorageTime), overhead)
+		}
+	}
+	return t, nil
+}

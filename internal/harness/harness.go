@@ -219,6 +219,12 @@ type RunOpts struct {
 	// MemBudget overrides the environment's budget when > 0.
 	MemBudget int64
 	Workers   int
+	// CheckpointEvery commits a checkpoint every K superstep boundaries
+	// (MultiLogVC engine only); 0 disables checkpointing.
+	CheckpointEvery int
+	// Resume restarts from the latest valid checkpoint on the device
+	// (MultiLogVC engine only).
+	Resume bool
 }
 
 func (o RunOpts) budget(env *Env) int64 {
@@ -245,6 +251,8 @@ func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, e
 		Workers:         o.Workers,
 		Cache:           env.Cache,
 		Prefetcher:      pf,
+		CheckpointEvery: o.CheckpointEvery,
+		Resume:          o.Resume,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {

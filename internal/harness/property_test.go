@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -108,4 +109,124 @@ func TestQuickCrossEngineEquality(t *testing.T) {
 	if err := quick.Check(check, cfg); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestQuickCrashRecovery is the crash-recovery property: for random
+// graphs, random checkpoint intervals, and random crash depths, a run
+// killed mid-flight and resumed from its latest checkpoint must produce
+// values bit-identical to an uninterrupted run.
+func TestQuickCrashRecovery(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		var edges []graphio.Edge
+		var err error
+		if rng.Intn(2) == 0 {
+			edges, err = gen.Uniform(uint32(40+rng.Intn(200)), 150+rng.Intn(600), rng.Int63(), true)
+		} else {
+			edges, err = gen.Grid(3+rng.Intn(10), 3+rng.Intn(10))
+		}
+		if err != nil || len(edges) == 0 {
+			return err == nil
+		}
+		n := graphio.NumVertices(edges)
+
+		// One geometry for both devices, so the reference and the crashed
+		// run see identical layouts.
+		devCfg := ssd.Config{
+			PageSize: 128 << rng.Intn(4),
+			Channels: 1 + rng.Intn(8),
+		}
+		budget := int64(256 + rng.Intn(4096))
+		mem := int64(4096 + rng.Intn(1<<16))
+		mkEnv := func() (*Env, error) {
+			dev := ssd.MustOpen(devCfg)
+			g, err := csr.Build(dev, "q", edges, csr.BuildOptions{
+				NumVertices:    n,
+				IntervalBudget: budget,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &Env{Dev: dev, Graph: g, DS: Dataset{Name: "q", Edges: edges, N: n},
+				MemBudget: mem, PageSize: dev.PageSize()}, nil
+		}
+
+		src := uint32(rng.Intn(int(n)))
+		progs := []func() vc.Program{
+			func() vc.Program { return &apps.PageRank{} },
+			func() vc.Program { return &apps.BFS{Source: src} },
+			func() vc.Program { return &apps.CDLP{} },
+			func() vc.Program { return &apps.WCC{} },
+		}
+		mkProg := progs[rng.Intn(len(progs))]
+		steps := 4 + rng.Intn(8)
+		every := 1 + rng.Intn(3) // random checkpoint interval
+		opts := RunOpts{MaxSupersteps: steps, Workers: 1 + rng.Intn(4)}
+
+		env, err := mkEnv()
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		_, want, err := RunMLVC(env, mkProg(), opts)
+		if err != nil {
+			t.Logf("reference: %v", err)
+			return false
+		}
+		st := env.Dev.Stats()
+		total := int64(st.BatchReads + st.BatchWrites)
+		if total < 2 {
+			return true
+		}
+
+		env, err = mkEnv()
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		depth := 1 + rng.Int63n(total-1) // random crash depth
+		env.Dev.FailAfter(depth, nil)
+		ckOpts := opts
+		ckOpts.CheckpointEvery = every
+		_, got, err := RunMLVC(env, mkProg(), ckOpts)
+		if err == nil {
+			// The fault credit outlived the checkpointing run; nothing
+			// crashed, so the values must already match.
+			return equalValues(t, seed, got, want)
+		}
+		if !errors.Is(err, ssd.ErrInjected) {
+			t.Logf("seed %d: crash at depth %d surfaced %v, want ErrInjected", seed, depth, err)
+			return false
+		}
+		env.Dev.FailAfter(-1, nil)
+		ckOpts.Resume = true
+		_, got, err = RunMLVC(env, mkProg(), ckOpts)
+		if err != nil {
+			t.Logf("seed %d: resume after crash at depth %d (every %d): %v", seed, depth, every, err)
+			return false
+		}
+		return equalValues(t, seed, got, want)
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalValues(t *testing.T, seed int64, got, want []uint32) bool {
+	if len(got) != len(want) {
+		t.Logf("seed %d: value count %d != %d", seed, len(got), len(want))
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Logf("seed %d: value[%d] %d != %d", seed, i, got[i], want[i])
+			return false
+		}
+	}
+	return true
 }

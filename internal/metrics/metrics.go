@@ -50,6 +50,21 @@ type SuperstepStats struct {
 	PrefetchHits    uint64 `json:"prefetch_hits,omitempty"`    // warmed pages that saw a demand hit
 	PrefetchDropped uint64 `json:"prefetch_dropped,omitempty"` // warm attempts refused by backpressure
 
+	// Fault-tolerance accounting: transient device faults absorbed by the
+	// retry layer this superstep, the retries spent doing so, and the
+	// backoff charged to the virtual clock (see ssd.RetryPolicy). All zero
+	// on fault-free runs, keeping exports byte-identical to old baselines.
+	TransientFaults uint64        `json:"transient_faults,omitempty"`
+	Retries         uint64        `json:"retries,omitempty"`
+	RetryBackoff    time.Duration `json:"retry_backoff_ns,omitempty"`
+
+	// Checkpoint accounting: checkpoints committed at this superstep's
+	// boundary (0 or 1), the device pages they wrote, and the storage time
+	// those writes cost.
+	Checkpoints     uint64        `json:"checkpoints,omitempty"`
+	CheckpointPages uint64        `json:"checkpoint_pages,omitempty"`
+	CheckpointTime  time.Duration `json:"checkpoint_ns,omitempty"`
+
 	// MsgSkew is the per-interval message imbalance of the superstep:
 	// max interval log volume over the mean across all intervals (1.0 =
 	// perfectly balanced; 0 when no messages flowed). Engines that do not
@@ -107,6 +122,21 @@ type Report struct {
 	PrefetchInserts uint64
 	PrefetchHits    uint64
 	PrefetchDropped uint64
+
+	// Fault-tolerance totals over the run (all zero on fault-free runs
+	// with checkpointing off).
+	TransientFaults uint64
+	Retries         uint64
+	RetryBackoff    time.Duration
+	Checkpoints     uint64
+	CheckpointPages uint64
+	CheckpointTime  time.Duration
+
+	// Resumed records that the run restarted from a checkpoint instead of
+	// superstep 0; ResumeStep is the first superstep executed after
+	// restore. Supersteps before it come from the checkpoint.
+	Resumed    bool
+	ResumeStep int
 }
 
 // TotalTime is the modeled run time: storage (virtual) + compute (host).
@@ -127,6 +157,8 @@ func (r *Report) Finish() {
 	r.StorageTime, r.ComputeTime = 0, 0
 	r.CacheHits, r.CacheMisses, r.CacheEvictions = 0, 0, 0
 	r.PrefetchInserts, r.PrefetchHits, r.PrefetchDropped = 0, 0, 0
+	r.TransientFaults, r.Retries, r.RetryBackoff = 0, 0, 0
+	r.Checkpoints, r.CheckpointPages, r.CheckpointTime = 0, 0, 0
 	for _, s := range r.Supersteps {
 		r.PagesRead += s.PagesRead
 		r.PagesWritten += s.PagesWritten
@@ -138,6 +170,12 @@ func (r *Report) Finish() {
 		r.PrefetchInserts += s.PrefetchInserts
 		r.PrefetchHits += s.PrefetchHits
 		r.PrefetchDropped += s.PrefetchDropped
+		r.TransientFaults += s.TransientFaults
+		r.Retries += s.Retries
+		r.RetryBackoff += s.RetryBackoff
+		r.Checkpoints += s.Checkpoints
+		r.CheckpointPages += s.CheckpointPages
+		r.CheckpointTime += s.CheckpointTime
 	}
 }
 
@@ -200,6 +238,14 @@ func (r *Report) String() string {
 			100*r.CacheHitRate(), r.CacheHits, r.CacheMisses, r.CacheEvictions,
 			r.PrefetchInserts, 100*r.PrefetchAccuracy(), r.PrefetchDropped)
 	}
+	if r.TransientFaults > 0 || r.Checkpoints > 0 || r.Resumed {
+		s += fmt.Sprintf("\n  fault-tolerance: %d transient faults retried (%d retries, backoff=%v), %d checkpoints (%d pages, %v)",
+			r.TransientFaults, r.Retries, r.RetryBackoff.Round(time.Microsecond),
+			r.Checkpoints, r.CheckpointPages, r.CheckpointTime.Round(time.Microsecond))
+		if r.Resumed {
+			s += fmt.Sprintf(", resumed at superstep %d", r.ResumeStep)
+		}
+	}
 	return s
 }
 
@@ -232,6 +278,15 @@ type reportJSON struct {
 	PrefetchHits    uint64  `json:"prefetch_hits,omitempty"`
 	PrefetchDropped uint64  `json:"prefetch_dropped,omitempty"`
 	PrefetchAcc     float64 `json:"prefetch_accuracy,omitempty"`
+
+	TransientFaults uint64        `json:"transient_faults,omitempty"`
+	Retries         uint64        `json:"retries,omitempty"`
+	RetryBackoff    time.Duration `json:"retry_backoff_ns,omitempty"`
+	Checkpoints     uint64        `json:"checkpoints,omitempty"`
+	CheckpointPages uint64        `json:"checkpoint_pages,omitempty"`
+	CheckpointTime  time.Duration `json:"checkpoint_ns,omitempty"`
+	Resumed         bool          `json:"resumed,omitempty"`
+	ResumeStep      int           `json:"resume_step,omitempty"`
 
 	Supersteps []SuperstepStats `json:"supersteps"`
 }
@@ -266,6 +321,15 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		PrefetchDropped: r.PrefetchDropped,
 		PrefetchAcc:     r.PrefetchAccuracy(),
 
+		TransientFaults: r.TransientFaults,
+		Retries:         r.Retries,
+		RetryBackoff:    r.RetryBackoff,
+		Checkpoints:     r.Checkpoints,
+		CheckpointPages: r.CheckpointPages,
+		CheckpointTime:  r.CheckpointTime,
+		Resumed:         r.Resumed,
+		ResumeStep:      r.ResumeStep,
+
 		Supersteps: r.Supersteps,
 	})
 }
@@ -294,6 +358,15 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		PrefetchInserts: in.PrefetchInserts,
 		PrefetchHits:    in.PrefetchHits,
 		PrefetchDropped: in.PrefetchDropped,
+
+		TransientFaults: in.TransientFaults,
+		Retries:         in.Retries,
+		RetryBackoff:    in.RetryBackoff,
+		Checkpoints:     in.Checkpoints,
+		CheckpointPages: in.CheckpointPages,
+		CheckpointTime:  in.CheckpointTime,
+		Resumed:         in.Resumed,
+		ResumeStep:      in.ResumeStep,
 
 		Supersteps: in.Supersteps,
 	}

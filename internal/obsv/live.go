@@ -32,6 +32,12 @@ type LiveVars struct {
 	CacheHitRate  *expvar.Float // hit rate of the latest superstep
 	CacheResident *expvar.Int   // pages currently resident in the cache
 	PrefetchAcc   *expvar.Float // prefetch accuracy of the latest superstep
+
+	// Fault-tolerance counters: cumulative across runs in the process.
+	TransientFaults *expvar.Int // transient device faults absorbed by retry
+	Retries         *expvar.Int // retry attempts spent absorbing them
+	Checkpoints     *expvar.Int // checkpoints committed
+	Resumes         *expvar.Int // runs resumed from a checkpoint
 }
 
 var (
@@ -55,6 +61,11 @@ func Live() *LiveVars {
 			CacheHitRate:   expvar.NewFloat("mlvc.cache_hit_rate"),
 			CacheResident:  expvar.NewInt("mlvc.cache_resident_pages"),
 			PrefetchAcc:    expvar.NewFloat("mlvc.prefetch_accuracy"),
+
+			TransientFaults: expvar.NewInt("mlvc.transient_faults"),
+			Retries:         expvar.NewInt("mlvc.retries"),
+			Checkpoints:     expvar.NewInt("mlvc.checkpoints"),
+			Resumes:         expvar.NewInt("mlvc.resumes"),
 		}
 	})
 	return liveVars

@@ -26,7 +26,7 @@ func (f *File) readPagesCached(pages []int, dst []byte) error {
 	if len(miss) == 0 {
 		return nil
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -73,7 +73,7 @@ func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
 		if !checked {
 			// One fault credit per warm batch, matching the demand paths'
 			// one credit per batch submission.
-			if err := f.dev.faultCheck(); err != nil {
+			if err := f.dev.opCheck(); err != nil {
 				return warmed, err
 			}
 			checked = true

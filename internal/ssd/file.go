@@ -74,7 +74,7 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 	if c != nil && c.Get(f.id, idx, buf) {
 		return nil
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -110,7 +110,7 @@ func (f *File) ReadPages(pages []int, dst []byte) error {
 	if f.dev.cache != nil {
 		return f.readPagesCached(pages, dst)
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -148,7 +148,7 @@ func (f *File) ReadPageRange(start, n int, dst []byte) error {
 		}
 		return f.readPagesCached(pages, dst)
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -175,7 +175,7 @@ func (f *File) WritePage(idx int, data []byte) error {
 	if len(data) != f.dev.cfg.PageSize {
 		return ErrShortBuffer
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -208,7 +208,7 @@ func (f *File) WritePageRange(start int, data []byte) error {
 	if n == 0 {
 		return nil
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -239,7 +239,7 @@ func (f *File) AppendPage(data []byte) (int, error) {
 	if len(data) != f.dev.cfg.PageSize {
 		return 0, ErrShortBuffer
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return 0, err
 	}
 	f.mu.Lock()
@@ -271,7 +271,7 @@ func (f *File) AppendPages(data []byte) error {
 	if n == 0 {
 		return nil
 	}
-	if err := f.dev.faultCheck(); err != nil {
+	if err := f.dev.opCheck(); err != nil {
 		return err
 	}
 	f.mu.Lock()

@@ -50,6 +50,46 @@ type Config struct {
 	// Dir, if non-empty, backs files with real files in this directory.
 	// Otherwise files live in RAM.
 	Dir string
+	// Retry is the transient-fault retry policy applied on every page
+	// operation. The zero value selects the defaults (3 retries, 100µs
+	// base backoff); set Retry.MaxRetries to -1 to disable retrying.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds how the device retries operations that fail with a
+// transient error (ErrTransient). Backoff is exponential with jitter and
+// is charged to the *virtual* storage clock (Stats.RetryBackoff), never to
+// host time, so retried runs stay fast and deterministic in tests.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failed
+	// attempt. 0 selects the default (3); negative disables retrying.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it up to MaxBackoff. Defaults to 100µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Defaults to 10ms.
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic jitter PRNG. Defaults to 1.
+	JitterSeed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0 // normalized: no re-attempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 10 * time.Millisecond
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	return p
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +105,7 @@ func (c Config) withDefaults() Config {
 	if c.PageWriteLatency <= 0 {
 		c.PageWriteLatency = 70 * time.Microsecond
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -89,6 +130,14 @@ type Stats struct {
 	FilesRemoved  uint64
 	FileTruncates uint64
 
+	// Transient-fault accounting: attempts that failed with ErrTransient,
+	// the retries issued against them, retry budgets that ran dry, and the
+	// virtual backoff time charged while waiting to retry.
+	TransientFaults  uint64
+	Retries          uint64
+	RetriesExhausted uint64
+	RetryBackoff     time.Duration
+
 	ReadBatchPages  obsv.Hist // pages per read batch
 	WriteBatchPages obsv.Hist // pages per write batch
 	ReadImbalance   obsv.Hist // busiest-channel depth minus ceil(pages/channels), per read batch
@@ -97,8 +146,9 @@ type Stats struct {
 	WriteLatencyUS  obsv.Hist // virtual service time per write batch, µs
 }
 
-// StorageTime returns the total virtual time charged to the device.
-func (s Stats) StorageTime() time.Duration { return s.ReadTime + s.WriteTime }
+// StorageTime returns the total virtual time charged to the device,
+// including backoff stalls spent waiting out transient faults.
+func (s Stats) StorageTime() time.Duration { return s.ReadTime + s.WriteTime + s.RetryBackoff }
 
 // Sub returns s - t, counter-wise. Useful for measuring a phase:
 // take a snapshot before and after, then Sub.
@@ -115,6 +165,11 @@ func (s Stats) Sub(t Stats) Stats {
 		FilesCreated:  s.FilesCreated - t.FilesCreated,
 		FilesRemoved:  s.FilesRemoved - t.FilesRemoved,
 		FileTruncates: s.FileTruncates - t.FileTruncates,
+
+		TransientFaults:  s.TransientFaults - t.TransientFaults,
+		Retries:          s.Retries - t.Retries,
+		RetriesExhausted: s.RetriesExhausted - t.RetriesExhausted,
+		RetryBackoff:     s.RetryBackoff - t.RetryBackoff,
 
 		ReadBatchPages:  s.ReadBatchPages.Sub(t.ReadBatchPages),
 		WriteBatchPages: s.WriteBatchPages.Sub(t.WriteBatchPages),
@@ -136,6 +191,16 @@ type Device struct {
 	stats      Stats
 	failAfter  int64 // remaining ops before injected failures; -1 = off
 	failErr    error
+
+	// Transient fault injection: opCount numbers every attempt since
+	// arming; transientAt scripts exact attempt indices that fail, and
+	// transientProb fails each attempt independently with probability p.
+	opCount       int64
+	transientAt   map[int64]bool
+	transientProb float64
+	transientRNG  uint64
+
+	retryRNG uint64 // jitter PRNG state, distinct from fault injection
 }
 
 // PageCache is the buffer-pool interface the device consults on reads and
@@ -171,8 +236,22 @@ func (d *Device) AttachCache(c PageCache) { d.cache = c }
 // Cache returns the attached page cache, or nil.
 func (d *Device) Cache() PageCache { return d.cache }
 
-// ErrInjected is the default error produced by FailAfter.
+// ErrInjected is the default error produced by FailAfter. It models a
+// permanent fault: once armed, every subsequent operation fails and no
+// amount of retrying helps.
 var ErrInjected = errors.New("ssd: injected device failure")
+
+// ErrTransient is the error produced by transient fault injection
+// (FailTransientAt, FailTransientProb). It models the recoverable
+// read/write errors real flash arrays return under load: a retry of the
+// same operation is a fresh attempt and may succeed. The device's retry
+// policy absorbs transient faults invisibly unless the budget runs out.
+var ErrTransient = errors.New("ssd: transient device error")
+
+// ErrRetriesExhausted wraps ErrTransient when an operation kept failing
+// transiently past the retry budget. errors.Is reports true for both
+// ErrRetriesExhausted and ErrTransient on such errors.
+var ErrRetriesExhausted = errors.New("ssd: transient-retry budget exhausted")
 
 // FailAfter arms fault injection: the next n page operations (reads,
 // writes, appends) succeed, then every subsequent operation fails with
@@ -194,19 +273,121 @@ func (d *Device) FailAfter(n int64, err error) {
 	d.mu.Unlock()
 }
 
-// faultCheck consumes one operation credit; it returns the injected error
-// once the credits run out.
+// FailTransientAt arms scripted transient faults: attempt number op
+// (0-based, counted across all page operations from this call on,
+// including retry attempts) fails with ErrTransient; all other attempts
+// succeed. Scripting k consecutive indices makes one logical operation
+// fail k times in a row, which is how tests drive the retry budget dry.
+// Calling with no arguments disarms scripted transients.
+func (d *Device) FailTransientAt(ops ...int64) {
+	d.mu.Lock()
+	d.opCount = 0
+	if len(ops) == 0 {
+		d.transientAt = nil
+	} else {
+		d.transientAt = make(map[int64]bool, len(ops))
+		for _, op := range ops {
+			d.transientAt[op] = true
+		}
+	}
+	d.mu.Unlock()
+}
+
+// FailTransientProb arms probabilistic transient faults: every attempt
+// independently fails with probability p, drawn from a deterministic PRNG
+// seeded by seed. p <= 0 disarms. Retried attempts redraw, so with the
+// default retry policy a fault rate p surfaces to callers only with
+// probability p^(1+MaxRetries).
+func (d *Device) FailTransientProb(p float64, seed uint64) {
+	d.mu.Lock()
+	if p <= 0 {
+		d.transientProb = 0
+	} else {
+		d.transientProb = p
+		if seed == 0 {
+			seed = 1
+		}
+		d.transientRNG = seed
+	}
+	d.mu.Unlock()
+}
+
+// splitmix64 advances the PRNG state and returns the next draw.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// faultCheck consumes one attempt credit; it returns the armed transient
+// or permanent error for this attempt, transient faults first (a device
+// that is dying permanently reports the permanent error).
 func (d *Device) faultCheck() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.failErr == nil {
-		return nil
+	if d.failErr != nil {
+		if d.failAfter > 0 {
+			d.failAfter--
+		} else {
+			return d.failErr
+		}
 	}
-	if d.failAfter > 0 {
-		d.failAfter--
-		return nil
+	op := d.opCount
+	d.opCount++
+	if d.transientAt != nil && d.transientAt[op] {
+		d.stats.TransientFaults++
+		return ErrTransient
 	}
-	return d.failErr
+	if d.transientProb > 0 {
+		draw := float64(splitmix64(&d.transientRNG)>>11) / float64(1<<53)
+		if draw < d.transientProb {
+			d.stats.TransientFaults++
+			return ErrTransient
+		}
+	}
+	return nil
+}
+
+// opCheck is the fault gate on every page operation: it consumes attempt
+// credits and absorbs transient faults by retrying with exponential
+// backoff and jitter, charging the waits to the virtual storage clock.
+// Permanent faults and exhausted budgets surface to the caller.
+func (d *Device) opCheck() error {
+	err := d.faultCheck()
+	if err == nil || !errors.Is(err, ErrTransient) {
+		return err
+	}
+	pol := d.cfg.Retry
+	backoff := pol.BaseBackoff
+	for attempt := 1; attempt <= pol.MaxRetries; attempt++ {
+		// Jittered delay in [backoff/2, backoff), deterministic per device.
+		d.mu.Lock()
+		half := backoff / 2
+		delay := half + time.Duration(splitmix64(&d.retryRNG)%uint64(half+1))
+		d.stats.Retries++
+		d.stats.RetryBackoff += delay
+		d.mu.Unlock()
+
+		err = d.faultCheck()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return err
+		}
+		if backoff < pol.MaxBackoff {
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+	}
+	d.mu.Lock()
+	d.stats.RetriesExhausted++
+	d.mu.Unlock()
+	return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, 1+pol.MaxRetries, err)
 }
 
 // ErrNotExist is returned when opening or removing a file that does not
@@ -221,7 +402,7 @@ var ErrExist = errors.New("ssd: file already exists")
 // graphs built by an earlier process can be reopened (see csr.Open).
 func Open(cfg Config) (*Device, error) {
 	cfg = cfg.withDefaults()
-	d := &Device{cfg: cfg, files: make(map[string]*File)}
+	d := &Device{cfg: cfg, files: make(map[string]*File), retryRNG: cfg.Retry.JitterSeed}
 	if cfg.Dir != "" {
 		if err := d.adoptDir(); err != nil {
 			return nil, err

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"multilogvc/internal/apps"
+	"multilogvc/internal/ckpt"
 	"multilogvc/internal/core"
 	"multilogvc/internal/csr"
 	"multilogvc/internal/gen"
@@ -75,6 +76,23 @@ type (
 // NewTrace creates an empty span trace to pass in RunOptions.Trace.
 func NewTrace() *Trace { return obsv.NewTrace() }
 
+// Sentinel errors re-exported for fault classification: callers match
+// them with errors.Is to tell a permanently failed device from an
+// exhausted transient-retry budget or an unusable checkpoint.
+var (
+	// ErrDeviceFault is a permanent injected device fault (ssd.ErrInjected).
+	ErrDeviceFault = ssd.ErrInjected
+	// ErrTransientFault is a transient device fault; the retry layer
+	// absorbs these unless the budget runs out.
+	ErrTransientFault = ssd.ErrTransient
+	// ErrRetriesExhausted marks a transient fault that outlived the retry
+	// budget (the error chain also matches ErrTransientFault).
+	ErrRetriesExhausted = ssd.ErrRetriesExhausted
+	// ErrCorruptCheckpoint is returned by a Resume run whose checkpoint
+	// slots are all torn or CRC-invalid.
+	ErrCorruptCheckpoint = ckpt.ErrCorrupt
+)
+
 // ServeDebug starts an HTTP listener exposing live engine gauges at
 // /debug/vars (expvar) and profiles at /debug/pprof/. It returns the
 // bound address and a shutdown func.
@@ -100,6 +118,11 @@ type SystemOptions struct {
 	// default) runs uncached; page reads always hit the device, which is
 	// what the paper's accounting model measures.
 	CacheMB int
+	// MaxRetries bounds how many times a page operation hit by a
+	// transient device fault is retried with exponential backoff (charged
+	// to the virtual storage clock). 0 keeps the default of 3; negative
+	// disables retries.
+	MaxRetries int
 }
 
 // System owns a storage device and the graphs on it.
@@ -116,6 +139,7 @@ func NewSystem(opts SystemOptions) (*System, error) {
 		PageReadLatency:  opts.PageReadLatency,
 		PageWriteLatency: opts.PageWriteLatency,
 		Dir:              opts.Dir,
+		Retry:            ssd.RetryPolicy{MaxRetries: opts.MaxRetries},
 	})
 	if err != nil {
 		return nil, err
@@ -358,6 +382,15 @@ type RunOptions struct {
 	// System has no cache or on the baseline engines, which never
 	// prefetch.
 	NoPrefetch bool
+	// CheckpointEvery commits a crash-recovery checkpoint every K
+	// superstep boundaries (MultiLogVC engine only); 0 disables it.
+	// Checkpoint IO is charged to the device and reported per superstep.
+	CheckpointEvery int
+	// Resume restarts from the latest valid checkpoint on the device
+	// (MultiLogVC engine only). With none present the run starts fresh;
+	// if every checkpoint slot is torn or corrupt the run fails with
+	// ErrCorruptCheckpoint.
+	Resume bool
 }
 
 // RunResult is a finished run: the report and final vertex values.
@@ -419,6 +452,8 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			Trace:           opts.Trace,
 			Cache:           g.sys.cache,
 			Prefetcher:      pf,
+			CheckpointEvery: opts.CheckpointEvery,
+			Resume:          opts.Resume,
 		})
 		res, err := eng.Run(prog)
 		if err != nil {
