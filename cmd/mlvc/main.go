@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	multilogvc "multilogvc"
@@ -41,6 +43,8 @@ func main() {
 		err = cmdBuild(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "scrub":
+		err = cmdScrub(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,15 +66,24 @@ func main() {
 //	4  permanent device fault — the device is gone; rebuild it
 //	5  corrupt checkpoint — every committed slot failed validation;
 //	   rerun without -resume to recompute
+//	6  corrupt data — a page failed its checksum and recovery was not
+//	   possible; rebuild the device (or the flagged files) from source
+//	7  interrupted — a checkpoint was committed; rerun with -resume
 //	1  anything else
 func exitCode(err error) int {
 	switch {
+	case errors.Is(err, multilogvc.ErrInterrupted):
+		fmt.Fprintln(os.Stderr, "mlvc: interrupted; checkpoint committed — rerun with -resume to continue")
+		return 7
 	case errors.Is(err, multilogvc.ErrRetriesExhausted):
 		fmt.Fprintln(os.Stderr, "mlvc: transient retries exhausted; raise -retries or rerun")
 		return 3
 	case errors.Is(err, multilogvc.ErrCorruptCheckpoint):
 		fmt.Fprintln(os.Stderr, "mlvc: checkpoint corrupt beyond recovery; rerun without -resume to recompute")
 		return 5
+	case errors.Is(err, multilogvc.ErrCorruptData), errors.Is(err, multilogvc.ErrCorruptPage):
+		fmt.Fprintln(os.Stderr, "mlvc: corrupt data beyond recovery; rebuild the device or rerun with -checkpoint-every armed")
+		return 6
 	case errors.Is(err, multilogvc.ErrDeviceFault):
 		fmt.Fprintln(os.Stderr, "mlvc: permanent device fault; the device must be rebuilt")
 		return 4
@@ -90,9 +103,11 @@ func usage() {
              [-checkpoint-every K] [-resume] [-retries N]
              [-trace out.json] [-json report.json] [-listen :6060]
   mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)
+  mlvc scrub -dir DIR [-page N] [-channels N]   (verify every page checksum)
 
 exit codes: 1 generic error, 2 usage, 3 transient retries exhausted,
-            4 permanent device fault, 5 corrupt checkpoint`)
+            4 permanent device fault, 5 corrupt checkpoint,
+            6 corrupt data, 7 interrupted (checkpoint committed)`)
 }
 
 func cmdGen(args []string) error {
@@ -288,6 +303,21 @@ func cmdRun(args []string) error {
 	if *tracePath != "" {
 		trace = multilogvc.NewTrace()
 	}
+
+	// Graceful shutdown: SIGINT/SIGTERM asks the engine to commit a
+	// checkpoint at the next superstep boundary and exit (code 7), so
+	// the run can be finished later with -resume.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(os.Stderr, "mlvc: signal received; committing checkpoint at next superstep boundary")
+			close(interrupt)
+		}
+	}()
+
 	res, err := g.Run(prog, multilogvc.RunOptions{
 		Engine:          engine,
 		MaxSupersteps:   *steps,
@@ -298,6 +328,7 @@ func cmdRun(args []string) error {
 		NoPrefetch:      *noPrefetch,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+		Interrupt:       interrupt,
 	})
 	if err != nil {
 		return err
@@ -339,5 +370,48 @@ func cmdRun(args []string) error {
 		}
 		fmt.Print(t)
 	}
+	return nil
+}
+
+// cmdScrub verifies every allocated page of a built device directory
+// against its recorded checksum — the offline integrity audit to run
+// before trusting (or resuming) a device that sat on real flash. Exits 6
+// when any page fails.
+func cmdScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	dir := fs.String("dir", "", "device directory to verify (required)")
+	pageSize := fs.Int("page", 16384, "SSD page size the device was built with")
+	channels := fs.Int("channels", 8, "SSD channels")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("scrub requires -dir")
+	}
+	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{
+		PageSize: *pageSize, Channels: *channels, Dir: *dir,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results, err := sys.Device().Scrub()
+	if err != nil {
+		return err
+	}
+	var pages, unverified, badPages, badFiles int
+	for _, r := range results {
+		pages += r.Pages
+		unverified += r.Unverified
+		if !r.OK() {
+			badFiles++
+			badPages += len(r.Corrupt)
+			fmt.Printf("CORRUPT %s: pages %v\n", r.File, r.Corrupt)
+		}
+	}
+	fmt.Printf("scrubbed %d files, %d pages (%d unverified) in %.2fs: %d corrupt pages in %d files\n",
+		len(results), pages, unverified, time.Since(start).Seconds(), badPages, badFiles)
+	if badPages > 0 {
+		return fmt.Errorf("%w: %d corrupt pages on device %s", multilogvc.ErrCorruptPage, badPages, *dir)
+	}
+	fmt.Println("device is clean")
 	return nil
 }

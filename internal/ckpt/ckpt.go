@@ -202,6 +202,11 @@ func loadSlot(dev *ssd.Device, prefix string, slot uint64) (st *State, corrupt b
 	}
 	var m [manifestBytes]byte
 	if err := meta.ReadAt(m[:], 0); err != nil {
+		if errors.Is(err, ssd.ErrCorruptPage) {
+			// A manifest page failing its device checksum is corruption
+			// evidence, not an interrupted commit — keep scanning slots.
+			return nil, true, nil
+		}
 		return nil, false, err
 	}
 	if binary.LittleEndian.Uint32(m[0:]) != magic ||
@@ -219,6 +224,9 @@ func loadSlot(dev *ssd.Device, prefix string, slot uint64) (st *State, corrupt b
 	}
 	payload := make([]byte, plen)
 	if err := data.ReadAt(payload, 0); err != nil {
+		if errors.Is(err, ssd.ErrCorruptPage) {
+			return nil, true, nil // corrupt payload page: try the other slot
+		}
 		return nil, true, err
 	}
 	if crc32.Checksum(payload, crcTable) != wantCRC {

@@ -34,8 +34,28 @@ import (
 	"multilogvc/internal/obsv"
 	"multilogvc/internal/pagecache"
 	"multilogvc/internal/sortgroup"
+	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
 )
+
+// ErrCorruptData is returned when the engine hits corrupt vital data
+// (message-log, value, CSR, or aux pages) it cannot recover from: either
+// checkpointing is off, or rollback attempts were exhausted. Redundant
+// data (edge-log pages) never surfaces this — it is healed from CSR.
+var ErrCorruptData = errors.New("core: corrupt data beyond recovery")
+
+// ErrInterrupted is returned when Config.Interrupt fires. The engine
+// commits a checkpoint at the superstep boundary before returning, so an
+// interrupted run is always resumable with Config.Resume.
+var ErrInterrupted = errors.New("core: run interrupted; checkpoint committed")
+
+// maxRollbacks bounds how many times one Run re-executes from the newest
+// checkpoint after hitting corrupt vital data. Transiently-planted
+// corruption (an injected flip on data that is rewritten, like value or
+// mlog pages) clears on the first rollback; corruption that survives
+// rollback (a damaged CSR page) re-fails each attempt and surfaces as
+// ErrCorruptData after the budget.
+const maxRollbacks = 3
 
 // Config tunes the engine. The memory budget is split exactly as Fig 4 of
 // the paper: SortPct (X%) for the sort-and-group unit, MLogPct (A%) for
@@ -103,6 +123,12 @@ type Config struct {
 	// fresh; a checkpoint whose every slot is torn or corrupt is an error
 	// (ckpt.ErrCorrupt).
 	Resume bool
+	// Interrupt, when non-nil, requests graceful shutdown: at the next
+	// superstep boundary after the channel closes (or receives), the
+	// engine commits a checkpoint — even when CheckpointEvery is 0 — and
+	// returns ErrInterrupted, so the run can be finished later with
+	// Resume.
+	Interrupt <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -147,9 +173,33 @@ type Result struct {
 	Values []uint32
 }
 
-// Run executes prog to convergence or the superstep cap.
+// Run executes prog to convergence or the superstep cap. When the run
+// fails on a corrupt page and checkpointing is armed, Run rolls back: it
+// re-executes from the newest valid checkpoint (or from scratch when none
+// committed yet), up to maxRollbacks times. Corruption that persists
+// through rollback — or strikes with checkpointing off — surfaces as
+// ErrCorruptData wrapping the page-level failure.
 func (e *Engine) Run(prog vc.Program) (*Result, error) {
+	res, err := e.runOnce(prog, e.cfg.Resume, 0)
+	if err == nil || !errors.Is(err, ssd.ErrCorruptPage) || errors.Is(err, ErrInterrupted) {
+		return res, err
+	}
+	live := obsv.Live()
+	for rollbacks := 1; e.cfg.CheckpointEvery > 0 && rollbacks <= maxRollbacks; rollbacks++ {
+		live.Rollbacks.Add(1)
+		res, err = e.runOnce(prog, true, rollbacks)
+		if err == nil || !errors.Is(err, ssd.ErrCorruptPage) {
+			return res, err
+		}
+	}
+	return nil, fmt.Errorf("%w: %w", ErrCorruptData, err)
+}
+
+// runOnce is one execution attempt: resume selects the starting point and
+// rollbacks records how many rollback re-executions preceded this one.
+func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, error) {
 	cfg := e.cfg
+	cfg.Resume = resume
 	g := e.g
 	dev := g.Device()
 	n := g.NumVertices()
@@ -157,6 +207,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	name := g.Name()
 
 	report := &metrics.Report{Engine: "multilogvc", App: prog.Name(), Graph: name}
+	report.Rollbacks = rollbacks
 	wallStart := time.Now()
 
 	// Resume: load the newest committed checkpoint before creating any
@@ -266,6 +317,18 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	}
 
 	for step := startStep; step < cfg.MaxSupersteps; step++ {
+		select {
+		case <-cfg.Interrupt:
+			// Graceful shutdown: the boundary state is consistent, so
+			// commit it — regardless of CheckpointEvery — and classify the
+			// exit so the caller knows a resume will pick up here.
+			if err := e.writeCheckpoint(ckptPrefix, ckptSeq, step, cumProcessed,
+				values, carry, aux, isAux, curLog, elog, pred, report, nil); err != nil {
+				return nil, fmt.Errorf("core: interrupt checkpoint: %w", err)
+			}
+			return nil, fmt.Errorf("%w at superstep %d", ErrInterrupted, step)
+		default:
+		}
 		var stepMuts []vc.Mutation
 		if !carry.Any() && curLog.Total() == 0 {
 			converged = true
@@ -398,6 +461,8 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		ss.TransientFaults = devDelta.TransientFaults
 		ss.Retries = devDelta.Retries
 		ss.RetryBackoff = devDelta.RetryBackoff
+		ss.RetriesExhausted = devDelta.RetriesExhausted
+		ss.CorruptPages = devDelta.CorruptPages
 		if cache := cfg.Cache; cache != nil {
 			cd := cache.Stats().Sub(cacheBefore)
 			ss.CacheHits = cd.Hits
@@ -424,7 +489,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			ckSpan.Arg("step", int64(step+1))
 			ckBefore := dev.Stats()
 			if err := e.writeCheckpoint(ckptPrefix, ckptSeq, step+1, cumProcessed,
-				values, carry, aux, isAux, curLog, elog, pred, report, ss); err != nil {
+				values, carry, aux, isAux, curLog, elog, pred, report, &ss); err != nil {
 				return nil, err
 			}
 			ckptSeq++
@@ -438,6 +503,8 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 			ss.TransientFaults += ckDelta.TransientFaults
 			ss.Retries += ckDelta.Retries
 			ss.RetryBackoff += ckDelta.RetryBackoff
+			ss.RetriesExhausted += ckDelta.RetriesExhausted
+			ss.CorruptPages += ckDelta.CorruptPages
 			live.Checkpoints.Add(1)
 			ckSpan.Arg("pages", int64(ss.CheckpointPages))
 			ckSpan.End()
@@ -475,10 +542,12 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 // ckpt.Save. All reads it issues (value pages, message-log pages, edge-log
 // pages, aux pages) go through the device and are charged as checkpoint
 // overhead by the caller.
+// ss is the in-progress superstep to include in the snapshot's report
+// history; nil (the interrupt path) snapshots completed supersteps only.
 func (e *Engine) writeCheckpoint(prefix string, seq uint64, step int, cumProcessed uint64,
 	values *csr.Values, carry *bitset.Set, aux *csr.Aux, isAux bool,
 	curLog *mlog.Log, elog *edgelog.EdgeLog, pred *edgelog.Predictor,
-	report *metrics.Report, ss metrics.SuperstepStats) error {
+	report *metrics.Report, ss *metrics.SuperstepStats) error {
 
 	st := &ckpt.State{
 		App:          report.App,
@@ -511,7 +580,19 @@ func (e *Engine) writeCheckpoint(prefix string, seq uint64, step int, cumProcess
 			}
 			st.Elog = append(st.Elog, ent)
 		}); err != nil {
-			return err
+			if !errors.Is(err, ssd.ErrCorruptPage) {
+				return err
+			}
+			// A corrupt edge-log page under the checkpointer: the log is
+			// redundant with CSR, so heal — drop the generation and
+			// snapshot without it — rather than fail the checkpoint.
+			st.Elog = nil
+			if ierr := elog.InvalidateCurrent(); ierr != nil {
+				return ierr
+			}
+			if ss != nil {
+				ss.ElogHealed++
+			}
 		}
 	}
 	if pred != nil {
@@ -524,7 +605,10 @@ func (e *Engine) writeCheckpoint(prefix string, seq uint64, step int, cumProcess
 	}
 	// Completed supersteps including the current one; its Checkpoint*
 	// fields are zero in the snapshot (the cost is only known after Save).
-	st.Supersteps = append(append([]metrics.SuperstepStats(nil), report.Supersteps...), ss)
+	st.Supersteps = append([]metrics.SuperstepStats(nil), report.Supersteps...)
+	if ss != nil {
+		st.Supersteps = append(st.Supersteps, *ss)
+	}
 	return ckpt.Save(e.g.Device(), prefix, st)
 }
 
@@ -730,10 +814,26 @@ func (e *Engine) processBatch(br *batchRun) error {
 			}
 			adj[v] = &adjEntry{nbrs: cp, weights: wcp, fromElog: true}
 		})
-		if err != nil {
+		switch {
+		case errors.Is(err, ssd.ErrCorruptPage):
+			// Self-healing: the edge log is a redundant adjacency cache, so
+			// a corrupt page costs the whole current generation — never
+			// correctness. Load batches all its page reads before the first
+			// visit, so no partial adjacency was delivered; reroute every
+			// log-resident vertex to canonical CSR loading below.
+			if ierr := br.elog.InvalidateCurrent(); ierr != nil {
+				return ierr
+			}
+			br.ss.ElogHealed++
+			for _, v := range fromLog {
+				iv := e.g.IntervalOf(v)
+				perIv[iv] = append(perIv[iv], v)
+			}
+		case err != nil:
 			return err
+		default:
+			br.ss.EdgeLogPagesRead += uint64(pages)
 		}
-		br.ss.EdgeLogPagesRead += uint64(pages)
 	}
 	ivKeys := make([]int, 0, len(perIv))
 	for iv := range perIv {
@@ -1043,6 +1143,12 @@ func publishLive(live *obsv.LiveVars, ss *metrics.SuperstepStats) {
 	if ss.TransientFaults > 0 {
 		live.TransientFaults.Add(int64(ss.TransientFaults))
 		live.Retries.Add(int64(ss.Retries))
+	}
+	if ss.CorruptPages > 0 {
+		live.CorruptPages.Add(int64(ss.CorruptPages))
+	}
+	if ss.ElogHealed > 0 {
+		live.ElogHeals.Add(int64(ss.ElogHealed))
 	}
 }
 

@@ -316,6 +316,17 @@ func (e *EdgeLog) Load(verts []uint32, visit func(v uint32, nbrs, weights []uint
 	return len(pages), nil
 }
 
+// InvalidateCurrent discards the current generation: the index empties
+// and the backing file truncates (which also drops any cached pages), so
+// every vertex falls back to canonical CSR loading. This is the heal path
+// for a corrupt edge-log page — the log is a redundant adjacency cache,
+// so dropping a generation costs extra CSR reads but never correctness.
+// Logging into the *next* generation is unaffected.
+func (e *EdgeLog) InvalidateCurrent() error {
+	e.index[e.gen] = make(map[uint32]entry)
+	return e.files[e.gen].Truncate()
+}
+
 // Dump visits every vertex in the current generation in ascending vertex
 // order with its logged neighbors (and weights, for weighted logs),
 // reading the covering pages in one batch. Checkpointing uses it to

@@ -155,6 +155,9 @@ type EnvOptions struct {
 	// CacheMB attaches a page cache of that size (MiB): > 0 sets the
 	// size, 0 falls back to DefaultCacheMB, < 0 forces uncached.
 	CacheMB int
+	// NoVerify disables page-checksum maintenance and verification on
+	// the device — only for measuring integrity overhead.
+	NoVerify bool
 }
 
 // attachCache resolves opts.CacheMB against DefaultCacheMB and attaches
@@ -189,7 +192,7 @@ func Prepare(ds Dataset, opts EnvOptions) (*Env, error) {
 			opts.MemBudget = 64 << 10
 		}
 	}
-	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir})
+	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir, NoVerify: opts.NoVerify})
 	if err != nil {
 		return nil, err
 	}
@@ -219,12 +222,19 @@ type RunOpts struct {
 	// MemBudget overrides the environment's budget when > 0.
 	MemBudget int64
 	Workers   int
+	// UtilThreshold overrides the edge-log utilization threshold when
+	// > 0 (MultiLogVC engine only); > 1 logs every fetched adjacency.
+	UtilThreshold float64
 	// CheckpointEvery commits a checkpoint every K superstep boundaries
 	// (MultiLogVC engine only); 0 disables checkpointing.
 	CheckpointEvery int
 	// Resume restarts from the latest valid checkpoint on the device
 	// (MultiLogVC engine only).
 	Resume bool
+	// Interrupt requests a graceful stop: when it closes, the engine
+	// checkpoints at the next superstep boundary and returns
+	// core.ErrInterrupted (MultiLogVC engine only).
+	Interrupt <-chan struct{}
 }
 
 func (o RunOpts) budget(env *Env) int64 {
@@ -249,10 +259,12 @@ func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, e
 		DisableCombiner: o.DisableCombiner,
 		DisableFusing:   o.DisableFusing,
 		Workers:         o.Workers,
+		UtilThreshold:   o.UtilThreshold,
 		Cache:           env.Cache,
 		Prefetcher:      pf,
 		CheckpointEvery: o.CheckpointEvery,
 		Resume:          o.Resume,
+		Interrupt:       o.Interrupt,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {
@@ -312,7 +324,7 @@ func PrepareWeighted(ds Dataset, wedges []graphio.WeightedEdge, opts EnvOptions)
 			opts.MemBudget = 64 << 10
 		}
 	}
-	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir})
+	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir, NoVerify: opts.NoVerify})
 	if err != nil {
 		return nil, err
 	}

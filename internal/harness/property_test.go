@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"multilogvc/internal/apps"
+	"multilogvc/internal/core"
 	"multilogvc/internal/csr"
 	"multilogvc/internal/gen"
 	"multilogvc/internal/graphio"
@@ -114,7 +115,11 @@ func TestQuickCrossEngineEquality(t *testing.T) {
 // TestQuickCrashRecovery is the crash-recovery property: for random
 // graphs, random checkpoint intervals, and random crash depths, a run
 // killed mid-flight and resumed from its latest checkpoint must produce
-// values bit-identical to an uninterrupted run.
+// values bit-identical to an uninterrupted run. Half the cases also
+// interleave probabilistic corruption of a random log or the value file
+// with the crash: the combined outcome must be either bit-identical
+// values (healed or rolled back) or a classified ErrCorruptData — a
+// silently wrong answer fails the property.
 func TestQuickCrashRecovery(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -187,15 +192,28 @@ func TestQuickCrashRecovery(t *testing.T) {
 		}
 		depth := 1 + rng.Int63n(total-1) // random crash depth
 		env.Dev.FailAfter(depth, nil)
+		corrupting := rng.Intn(2) == 0
+		if corrupting {
+			// Sticky bit flips land in a redundant log (heals), the message
+			// log, or the value file (both roll back). Checkpoint files are
+			// left alone: their loss is classified separately.
+			filters := []string{".elog", ".mlog.", ".values"}
+			env.Dev.CorruptOnly(filters[rng.Intn(len(filters))])
+			env.Dev.FailCorruptProb(0.002+rng.Float64()*0.01, uint64(seed)|1)
+		}
 		ckOpts := opts
 		ckOpts.CheckpointEvery = every
 		_, got, err := RunMLVC(env, mkProg(), ckOpts)
-		if err == nil {
+		switch {
+		case err == nil:
 			// The fault credit outlived the checkpointing run; nothing
 			// crashed, so the values must already match.
 			return equalValues(t, seed, got, want)
-		}
-		if !errors.Is(err, ssd.ErrInjected) {
+		case corrupting && errors.Is(err, core.ErrCorruptData):
+			// Corruption outran the rollback budget before the crash hit:
+			// a classified failure, which the property accepts.
+			return true
+		case !errors.Is(err, ssd.ErrInjected):
 			t.Logf("seed %d: crash at depth %d surfaced %v, want ErrInjected", seed, depth, err)
 			return false
 		}
@@ -203,6 +221,9 @@ func TestQuickCrashRecovery(t *testing.T) {
 		ckOpts.Resume = true
 		_, got, err = RunMLVC(env, mkProg(), ckOpts)
 		if err != nil {
+			if corrupting && errors.Is(err, core.ErrCorruptData) {
+				return true
+			}
 			t.Logf("seed %d: resume after crash at depth %d (every %d): %v", seed, depth, every, err)
 			return false
 		}

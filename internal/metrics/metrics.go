@@ -54,9 +54,16 @@ type SuperstepStats struct {
 	// retry layer this superstep, the retries spent doing so, and the
 	// backoff charged to the virtual clock (see ssd.RetryPolicy). All zero
 	// on fault-free runs, keeping exports byte-identical to old baselines.
-	TransientFaults uint64        `json:"transient_faults,omitempty"`
-	Retries         uint64        `json:"retries,omitempty"`
-	RetryBackoff    time.Duration `json:"retry_backoff_ns,omitempty"`
+	TransientFaults  uint64        `json:"transient_faults,omitempty"`
+	Retries          uint64        `json:"retries,omitempty"`
+	RetryBackoff     time.Duration `json:"retry_backoff_ns,omitempty"`
+	RetriesExhausted uint64        `json:"retries_exhausted,omitempty"`
+
+	// Integrity accounting: pages whose checksum failed verification this
+	// superstep and edge-log heal events (a corrupt redundant page whose
+	// generation was invalidated and rebuilt from CSR).
+	CorruptPages uint64 `json:"corrupt_pages,omitempty"`
+	ElogHealed   uint64 `json:"elog_healed,omitempty"`
 
 	// Checkpoint accounting: checkpoints committed at this superstep's
 	// boundary (0 or 1), the device pages they wrote, and the storage time
@@ -125,18 +132,27 @@ type Report struct {
 
 	// Fault-tolerance totals over the run (all zero on fault-free runs
 	// with checkpointing off).
-	TransientFaults uint64
-	Retries         uint64
-	RetryBackoff    time.Duration
-	Checkpoints     uint64
-	CheckpointPages uint64
-	CheckpointTime  time.Duration
+	TransientFaults  uint64
+	Retries          uint64
+	RetryBackoff     time.Duration
+	RetriesExhausted uint64
+	Checkpoints      uint64
+	CheckpointPages  uint64
+	CheckpointTime   time.Duration
+
+	// Integrity totals over the run.
+	CorruptPages uint64
+	ElogHealed   uint64
 
 	// Resumed records that the run restarted from a checkpoint instead of
 	// superstep 0; ResumeStep is the first superstep executed after
 	// restore. Supersteps before it come from the checkpoint.
 	Resumed    bool
 	ResumeStep int
+	// Rollbacks counts how many times corrupt vital data sent this run
+	// back to its newest checkpoint before it completed. Like Resumed it
+	// is run-level state, not accumulated from supersteps.
+	Rollbacks int
 }
 
 // TotalTime is the modeled run time: storage (virtual) + compute (host).
@@ -158,6 +174,7 @@ func (r *Report) Finish() {
 	r.CacheHits, r.CacheMisses, r.CacheEvictions = 0, 0, 0
 	r.PrefetchInserts, r.PrefetchHits, r.PrefetchDropped = 0, 0, 0
 	r.TransientFaults, r.Retries, r.RetryBackoff = 0, 0, 0
+	r.RetriesExhausted, r.CorruptPages, r.ElogHealed = 0, 0, 0
 	r.Checkpoints, r.CheckpointPages, r.CheckpointTime = 0, 0, 0
 	for _, s := range r.Supersteps {
 		r.PagesRead += s.PagesRead
@@ -173,6 +190,9 @@ func (r *Report) Finish() {
 		r.TransientFaults += s.TransientFaults
 		r.Retries += s.Retries
 		r.RetryBackoff += s.RetryBackoff
+		r.RetriesExhausted += s.RetriesExhausted
+		r.CorruptPages += s.CorruptPages
+		r.ElogHealed += s.ElogHealed
 		r.Checkpoints += s.Checkpoints
 		r.CheckpointPages += s.CheckpointPages
 		r.CheckpointTime += s.CheckpointTime
@@ -238,12 +258,17 @@ func (r *Report) String() string {
 			100*r.CacheHitRate(), r.CacheHits, r.CacheMisses, r.CacheEvictions,
 			r.PrefetchInserts, 100*r.PrefetchAccuracy(), r.PrefetchDropped)
 	}
-	if r.TransientFaults > 0 || r.Checkpoints > 0 || r.Resumed {
+	if r.TransientFaults > 0 || r.Checkpoints > 0 || r.Resumed ||
+		r.CorruptPages > 0 || r.ElogHealed > 0 || r.Rollbacks > 0 {
 		s += fmt.Sprintf("\n  fault-tolerance: %d transient faults retried (%d retries, backoff=%v), %d checkpoints (%d pages, %v)",
 			r.TransientFaults, r.Retries, r.RetryBackoff.Round(time.Microsecond),
 			r.Checkpoints, r.CheckpointPages, r.CheckpointTime.Round(time.Microsecond))
 		if r.Resumed {
 			s += fmt.Sprintf(", resumed at superstep %d", r.ResumeStep)
+		}
+		if r.CorruptPages > 0 || r.ElogHealed > 0 || r.Rollbacks > 0 {
+			s += fmt.Sprintf("\n  integrity: %d corrupt pages detected, %d edge-log heals, %d rollbacks",
+				r.CorruptPages, r.ElogHealed, r.Rollbacks)
 		}
 	}
 	return s
@@ -279,14 +304,18 @@ type reportJSON struct {
 	PrefetchDropped uint64  `json:"prefetch_dropped,omitempty"`
 	PrefetchAcc     float64 `json:"prefetch_accuracy,omitempty"`
 
-	TransientFaults uint64        `json:"transient_faults,omitempty"`
-	Retries         uint64        `json:"retries,omitempty"`
-	RetryBackoff    time.Duration `json:"retry_backoff_ns,omitempty"`
-	Checkpoints     uint64        `json:"checkpoints,omitempty"`
-	CheckpointPages uint64        `json:"checkpoint_pages,omitempty"`
-	CheckpointTime  time.Duration `json:"checkpoint_ns,omitempty"`
-	Resumed         bool          `json:"resumed,omitempty"`
-	ResumeStep      int           `json:"resume_step,omitempty"`
+	TransientFaults  uint64        `json:"transient_faults,omitempty"`
+	Retries          uint64        `json:"retries,omitempty"`
+	RetryBackoff     time.Duration `json:"retry_backoff_ns,omitempty"`
+	RetriesExhausted uint64        `json:"retries_exhausted,omitempty"`
+	Checkpoints      uint64        `json:"checkpoints,omitempty"`
+	CheckpointPages  uint64        `json:"checkpoint_pages,omitempty"`
+	CheckpointTime   time.Duration `json:"checkpoint_ns,omitempty"`
+	CorruptPages     uint64        `json:"corrupt_pages,omitempty"`
+	ElogHealed       uint64        `json:"elog_healed,omitempty"`
+	Resumed          bool          `json:"resumed,omitempty"`
+	ResumeStep       int           `json:"resume_step,omitempty"`
+	Rollbacks        int           `json:"rollbacks,omitempty"`
 
 	Supersteps []SuperstepStats `json:"supersteps"`
 }
@@ -321,14 +350,18 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		PrefetchDropped: r.PrefetchDropped,
 		PrefetchAcc:     r.PrefetchAccuracy(),
 
-		TransientFaults: r.TransientFaults,
-		Retries:         r.Retries,
-		RetryBackoff:    r.RetryBackoff,
-		Checkpoints:     r.Checkpoints,
-		CheckpointPages: r.CheckpointPages,
-		CheckpointTime:  r.CheckpointTime,
-		Resumed:         r.Resumed,
-		ResumeStep:      r.ResumeStep,
+		TransientFaults:  r.TransientFaults,
+		Retries:          r.Retries,
+		RetryBackoff:     r.RetryBackoff,
+		RetriesExhausted: r.RetriesExhausted,
+		Checkpoints:      r.Checkpoints,
+		CheckpointPages:  r.CheckpointPages,
+		CheckpointTime:   r.CheckpointTime,
+		CorruptPages:     r.CorruptPages,
+		ElogHealed:       r.ElogHealed,
+		Resumed:          r.Resumed,
+		ResumeStep:       r.ResumeStep,
+		Rollbacks:        r.Rollbacks,
 
 		Supersteps: r.Supersteps,
 	})
@@ -359,14 +392,18 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		PrefetchHits:    in.PrefetchHits,
 		PrefetchDropped: in.PrefetchDropped,
 
-		TransientFaults: in.TransientFaults,
-		Retries:         in.Retries,
-		RetryBackoff:    in.RetryBackoff,
-		Checkpoints:     in.Checkpoints,
-		CheckpointPages: in.CheckpointPages,
-		CheckpointTime:  in.CheckpointTime,
-		Resumed:         in.Resumed,
-		ResumeStep:      in.ResumeStep,
+		TransientFaults:  in.TransientFaults,
+		Retries:          in.Retries,
+		RetryBackoff:     in.RetryBackoff,
+		RetriesExhausted: in.RetriesExhausted,
+		Checkpoints:      in.Checkpoints,
+		CheckpointPages:  in.CheckpointPages,
+		CheckpointTime:   in.CheckpointTime,
+		CorruptPages:     in.CorruptPages,
+		ElogHealed:       in.ElogHealed,
+		Resumed:          in.Resumed,
+		ResumeStep:       in.ResumeStep,
+		Rollbacks:        in.Rollbacks,
 
 		Supersteps: in.Supersteps,
 	}

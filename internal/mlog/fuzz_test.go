@@ -1,0 +1,76 @@
+package mlog
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestDecodePageRejectsCorruptHeader pins the corrupt-header bounds: a
+// header claiming more records than the page holds (the pre-fix panic),
+// more than the log says remain, or a page too short for any record must
+// all come back as errors, never touch a record, and never panic.
+func TestDecodePageRejectsCorruptHeader(t *testing.T) {
+	const ps = 4 * RecordBytes // capacity after the header: 3 records
+	mk := func(count uint32) []byte {
+		page := make([]byte, ps)
+		binary.LittleEndian.PutUint32(page, count)
+		return page
+	}
+	calls := 0
+	fn := func(dst, src, data uint32) { calls++ }
+
+	if _, err := decodePage(mk(4), 100, fn); err == nil || calls != 0 {
+		t.Fatalf("over-capacity header: err=%v calls=%d", err, calls)
+	}
+	if _, err := decodePage(mk(1<<31), 100, fn); err == nil || calls != 0 {
+		t.Fatalf("huge header: err=%v calls=%d", err, calls)
+	}
+	if _, err := decodePage(mk(3), 2, fn); err == nil || calls != 0 {
+		t.Fatalf("over-remaining header: err=%v calls=%d", err, calls)
+	}
+	if _, err := decodePage(make([]byte, pageHeader), 1, fn); err == nil {
+		t.Fatalf("short page accepted")
+	}
+	n, err := decodePage(mk(2), 2, fn)
+	if err != nil || n != 2 || calls != 2 {
+		t.Fatalf("valid page: n=%d err=%v calls=%d", n, err, calls)
+	}
+}
+
+// FuzzPageDecode throws arbitrary bytes — and arbitrary remaining-record
+// budgets — at the page decoder. The invariant under fuzz is simply that
+// a corrupt page can never panic the reader, and that whatever record
+// count decodePage reports was actually delivered through fn and fits
+// both the page capacity and the budget.
+func FuzzPageDecode(f *testing.F) {
+	// Seeds: a well-formed sealed page, an empty page, a lying header,
+	// and a short buffer.
+	good := make([]byte, 256)
+	sealPage(good, pageHeader+5*RecordBytes)
+	f.Add(good, uint64(100))
+	f.Add(make([]byte, 256), uint64(0))
+	bad := make([]byte, 256)
+	binary.LittleEndian.PutUint32(bad, 0xFFFFFFFF)
+	f.Add(bad, uint64(1))
+	f.Add([]byte{1, 0}, uint64(1))
+
+	f.Fuzz(func(t *testing.T, page []byte, remaining uint64) {
+		calls := uint64(0)
+		n, err := decodePage(page, remaining, func(dst, src, data uint32) { calls++ })
+		if err != nil {
+			if calls != 0 {
+				t.Fatalf("error after delivering %d records", calls)
+			}
+			return
+		}
+		if n != calls {
+			t.Fatalf("reported %d records, delivered %d", n, calls)
+		}
+		if n > remaining {
+			t.Fatalf("consumed %d records with only %d remaining", n, remaining)
+		}
+		if cap := uint64((len(page) - pageHeader) / RecordBytes); n > cap {
+			t.Fatalf("consumed %d records from a page holding %d", n, cap)
+		}
+	})
+}

@@ -293,19 +293,39 @@ func (l *Log) Read(interval int, fn func(dst, src, data uint32)) error {
 		if err := r.ReadFull(buf[:need]); err != nil {
 			return fmt.Errorf("mlog: read interval %d: %w", interval, err)
 		}
-		inPage := uint64(binary.LittleEndian.Uint32(buf))
-		if inPage > remaining {
-			return fmt.Errorf("mlog: interval %d page holds %d records, %d expected", interval, inPage, remaining)
-		}
-		for i := uint64(0); i < inPage; i++ {
-			off := pageHeader + int(i)*RecordBytes
-			fn(binary.LittleEndian.Uint32(buf[off:]),
-				binary.LittleEndian.Uint32(buf[off+4:]),
-				binary.LittleEndian.Uint32(buf[off+8:]))
+		inPage, err := decodePage(buf[:need], remaining, fn)
+		if err != nil {
+			return fmt.Errorf("mlog: interval %d: %w", interval, err)
 		}
 		remaining -= inPage
 	}
 	return nil
+}
+
+// decodePage decodes one sealed log page, invoking fn per record, and
+// returns the number of records consumed. The header's record count is
+// validated against both the page's record capacity and the remaining
+// record budget before any record is touched, so a corrupt or truncated
+// page surfaces as an error — never an out-of-range panic.
+func decodePage(page []byte, remaining uint64, fn func(dst, src, data uint32)) (uint64, error) {
+	if len(page) < pageHeader+RecordBytes {
+		return 0, fmt.Errorf("page of %d bytes is shorter than header plus one record", len(page))
+	}
+	capacity := uint64((len(page) - pageHeader) / RecordBytes)
+	inPage := uint64(binary.LittleEndian.Uint32(page))
+	if inPage > capacity {
+		return 0, fmt.Errorf("page header claims %d records, page holds at most %d", inPage, capacity)
+	}
+	if inPage > remaining {
+		return 0, fmt.Errorf("page holds %d records, %d expected", inPage, remaining)
+	}
+	for i := uint64(0); i < inPage; i++ {
+		off := pageHeader + int(i)*RecordBytes
+		fn(binary.LittleEndian.Uint32(page[off:]),
+			binary.LittleEndian.Uint32(page[off+4:]),
+			binary.LittleEndian.Uint32(page[off+8:]))
+	}
+	return inPage, nil
 }
 
 // FilePages returns interval iv's device-resident log file and its data

@@ -38,6 +38,11 @@ type LiveVars struct {
 	Retries         *expvar.Int // retry attempts spent absorbing them
 	Checkpoints     *expvar.Int // checkpoints committed
 	Resumes         *expvar.Int // runs resumed from a checkpoint
+
+	// Integrity counters: cumulative across runs in the process.
+	CorruptPages *expvar.Int // pages that failed checksum verification
+	ElogHeals    *expvar.Int // edge-log generations healed from CSR
+	Rollbacks    *expvar.Int // runs rolled back to a checkpoint on corruption
 }
 
 var (
@@ -66,6 +71,10 @@ func Live() *LiveVars {
 			Retries:         expvar.NewInt("mlvc.retries"),
 			Checkpoints:     expvar.NewInt("mlvc.checkpoints"),
 			Resumes:         expvar.NewInt("mlvc.resumes"),
+
+			CorruptPages: expvar.NewInt("mlvc.corrupt_pages"),
+			ElogHeals:    expvar.NewInt("mlvc.elog_heals"),
+			Rollbacks:    expvar.NewInt("mlvc.rollbacks"),
 		}
 	})
 	return liveVars

@@ -1,6 +1,9 @@
 package ssd
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // This file holds the cache-aware read path and the prefetch entry points.
 // With no cache attached none of this code runs; the uncached paths in
@@ -37,7 +40,7 @@ func (f *File) readPagesCached(pages []int, dst []byte) error {
 			return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, p, f.name, np)
 		}
 		i := missAt[k]
-		if err := f.store.readPage(p, dst[i*ps:(i+1)*ps]); err != nil {
+		if err := f.readPageLocked(p, dst[i*ps:(i+1)*ps]); err != nil {
 			f.mu.Unlock()
 			return err
 		}
@@ -83,8 +86,14 @@ func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
 			f.mu.Unlock()
 			continue
 		}
-		err := f.store.readPage(p, buf)
+		err := f.readPageLocked(p, buf)
 		f.mu.Unlock()
+		if errors.Is(err, ErrCorruptPage) {
+			// Never cache a corrupt page. Skip it and keep warming: the
+			// demand read will re-detect it where the consumer's recovery
+			// policy (heal, rollback) can act.
+			continue
+		}
 		if err != nil {
 			f.chargeWarm(warmed)
 			return warmed, err

@@ -28,6 +28,7 @@ type File struct {
 
 	pagesRead    atomic.Uint64
 	pagesWritten atomic.Uint64
+	corrupt      atomic.Uint64 // checksum failures detected on this file
 }
 
 // ErrShortBuffer is returned when a destination buffer is not page-sized.
@@ -82,7 +83,7 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, f.store.numPages())
 	}
-	err := f.store.readPage(idx, buf)
+	err := f.readPageLocked(idx, buf)
 	f.mu.Unlock()
 	if err != nil {
 		return err
@@ -120,7 +121,7 @@ func (f *File) ReadPages(pages []int, dst []byte) error {
 			f.mu.Unlock()
 			return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, p, f.name, np)
 		}
-		if err := f.store.readPage(p, dst[i*ps:(i+1)*ps]); err != nil {
+		if err := f.readPageLocked(p, dst[i*ps:(i+1)*ps]); err != nil {
 			f.mu.Unlock()
 			return err
 		}
@@ -158,7 +159,7 @@ func (f *File) ReadPageRange(start, n int, dst []byte) error {
 		return fmt.Errorf("%w: pages [%d,%d) of %q (%d pages)", ErrOutOfRange, start, start+n, f.name, np)
 	}
 	for i := 0; i < n; i++ {
-		if err := f.store.readPage(start+i, dst[i*ps:(i+1)*ps]); err != nil {
+		if err := f.readPageLocked(start+i, dst[i*ps:(i+1)*ps]); err != nil {
 			f.mu.Unlock()
 			return err
 		}
@@ -184,7 +185,7 @@ func (f *File) WritePage(idx int, data []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("%w: write page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, np)
 	}
-	err := f.store.writePage(idx, data)
+	err := f.writePageLocked(idx, data)
 	f.mu.Unlock()
 	if err != nil {
 		return err
@@ -218,7 +219,7 @@ func (f *File) WritePageRange(start int, data []byte) error {
 		return fmt.Errorf("%w: write pages at %d of %q (%d pages)", ErrOutOfRange, start, f.name, np)
 	}
 	for i := 0; i < n; i++ {
-		if err := f.store.writePage(start+i, data[i*ps:(i+1)*ps]); err != nil {
+		if err := f.writePageLocked(start+i, data[i*ps:(i+1)*ps]); err != nil {
 			f.mu.Unlock()
 			return err
 		}
@@ -244,7 +245,7 @@ func (f *File) AppendPage(data []byte) (int, error) {
 	}
 	f.mu.Lock()
 	idx := f.store.numPages()
-	err := f.store.writePage(idx, data)
+	err := f.writePageLocked(idx, data)
 	if err == nil {
 		f.size = int64(idx+1) * int64(f.dev.cfg.PageSize)
 	}
@@ -277,7 +278,7 @@ func (f *File) AppendPages(data []byte) error {
 	f.mu.Lock()
 	start := f.store.numPages()
 	for i := 0; i < n; i++ {
-		if err := f.store.writePage(start+i, data[i*ps:(i+1)*ps]); err != nil {
+		if err := f.writePageLocked(start+i, data[i*ps:(i+1)*ps]); err != nil {
 			f.mu.Unlock()
 			return err
 		}

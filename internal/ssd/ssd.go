@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multilogvc/internal/obsv"
@@ -54,6 +55,12 @@ type Config struct {
 	// operation. The zero value selects the defaults (3 retries, 100µs
 	// base backoff); set Retry.MaxRetries to -1 to disable retrying.
 	Retry RetryPolicy
+	// NoVerify disables page checksum maintenance and verification —
+	// the pre-integrity device model, kept for measuring the checksum
+	// overhead (mlvc-bench -exp integrity). Corrupt pages then flow to
+	// consumers undetected, exactly like hardware without end-to-end
+	// data protection.
+	NoVerify bool
 }
 
 // RetryPolicy bounds how the device retries operations that fail with a
@@ -138,6 +145,11 @@ type Stats struct {
 	RetriesExhausted uint64
 	RetryBackoff     time.Duration
 
+	// Integrity accounting: pages whose checksum verification failed on a
+	// read path, and stored pages the injection machinery damaged.
+	CorruptPages        uint64
+	CorruptionsInjected uint64
+
 	ReadBatchPages  obsv.Hist // pages per read batch
 	WriteBatchPages obsv.Hist // pages per write batch
 	ReadImbalance   obsv.Hist // busiest-channel depth minus ceil(pages/channels), per read batch
@@ -171,6 +183,9 @@ func (s Stats) Sub(t Stats) Stats {
 		RetriesExhausted: s.RetriesExhausted - t.RetriesExhausted,
 		RetryBackoff:     s.RetryBackoff - t.RetryBackoff,
 
+		CorruptPages:        s.CorruptPages - t.CorruptPages,
+		CorruptionsInjected: s.CorruptionsInjected - t.CorruptionsInjected,
+
 		ReadBatchPages:  s.ReadBatchPages.Sub(t.ReadBatchPages),
 		WriteBatchPages: s.WriteBatchPages.Sub(t.WriteBatchPages),
 		ReadImbalance:   s.ReadImbalance.Sub(t.ReadImbalance),
@@ -201,6 +216,19 @@ type Device struct {
 	transientRNG  uint64
 
 	retryRNG uint64 // jitter PRNG state, distinct from fault injection
+
+	// Corruption injection (see integrity.go): corruptOps numbers every
+	// physical page read of files matching corruptOnly since arming;
+	// corruptAt scripts exact reads, corruptProb damages each matching
+	// read independently. corruptArmed caches "any of this is on" so the
+	// disarmed hot path costs one atomic load.
+	corruptOps   int64
+	corruptAt    map[int64]bool
+	corruptProb  float64
+	corruptRNG   uint64
+	corruptOnly  string
+	corruptTrack bool
+	corruptArmed atomic.Bool
 }
 
 // PageCache is the buffer-pool interface the device consults on reads and
@@ -426,6 +454,9 @@ func (d *Device) adoptDir() error {
 			return err
 		}
 		name := filepath.ToSlash(rel)
+		if isSidecar(name) {
+			return nil // checksum sidecars are store metadata, not device files
+		}
 		st, err := newDiskStore(root, name, d.cfg.PageSize)
 		if err != nil {
 			return err
@@ -552,14 +583,16 @@ func (d *Device) newStore(name string) (store, error) {
 	return newMemStore(d.cfg.PageSize), nil
 }
 
-// FileStats is the per-file IO counter pair.
+// FileStats is the per-file IO counter set.
 type FileStats struct {
 	PagesRead    uint64
 	PagesWritten uint64
+	CorruptPages uint64 // checksum failures attributed to this file
 }
 
 // StatsByFile returns per-file page counters, keyed by file name. Useful
-// for attributing traffic to graph data versus logs versus values.
+// for attributing traffic to graph data versus logs versus values, and
+// corruption to the file it struck.
 func (d *Device) StatsByFile() map[string]FileStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -568,6 +601,7 @@ func (d *Device) StatsByFile() map[string]FileStats {
 		out[name] = FileStats{
 			PagesRead:    f.pagesRead.Load(),
 			PagesWritten: f.pagesWritten.Load(),
+			CorruptPages: f.corrupt.Load(),
 		}
 	}
 	return out

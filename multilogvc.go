@@ -91,6 +91,17 @@ var (
 	// ErrCorruptCheckpoint is returned by a Resume run whose checkpoint
 	// slots are all torn or CRC-invalid.
 	ErrCorruptCheckpoint = ckpt.ErrCorrupt
+	// ErrCorruptPage marks a page whose content failed its CRC32C on a
+	// read path — silent data corruption, distinct from transient faults
+	// because retrying cannot help.
+	ErrCorruptPage = ssd.ErrCorruptPage
+	// ErrCorruptData is returned when corrupt vital data could not be
+	// recovered: checkpointing was off, or rollback attempts ran out.
+	ErrCorruptData = core.ErrCorruptData
+	// ErrInterrupted is returned when RunOptions.Interrupt fired; a
+	// checkpoint was committed first, so rerunning with Resume continues
+	// the computation.
+	ErrInterrupted = core.ErrInterrupted
 )
 
 // ServeDebug starts an HTTP listener exposing live engine gauges at
@@ -391,6 +402,11 @@ type RunOptions struct {
 	// if every checkpoint slot is torn or corrupt the run fails with
 	// ErrCorruptCheckpoint.
 	Resume bool
+	// Interrupt, when non-nil, requests graceful shutdown (MultiLogVC
+	// engine only): at the next superstep boundary after it closes, the
+	// run commits a checkpoint — even with CheckpointEvery 0 — and
+	// returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // RunResult is a finished run: the report and final vertex values.
@@ -454,6 +470,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			Prefetcher:      pf,
 			CheckpointEvery: opts.CheckpointEvery,
 			Resume:          opts.Resume,
+			Interrupt:       opts.Interrupt,
 		})
 		res, err := eng.Run(prog)
 		if err != nil {
