@@ -26,7 +26,7 @@ import (
 
 func main() {
 	size := flag.String("size", "small", "dataset scale: tiny, small, medium")
-	exps := flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,adapted,ablation,extended,iobreakdown,checkpoint,integrity")
+	exps := flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,adapted,ablation,extended,iobreakdown,checkpoint,integrity,spill")
 	out := flag.String("out", "", "also write results to this file")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	jsonDir := flag.String("json", "", "write every engine run's report as JSON into this directory")
@@ -157,4 +157,5 @@ func main() {
 	run("iobreakdown", func() (*metrics.Table, error) { return harness.IOBreakdown(sz) })
 	run("checkpoint", func() (*metrics.Table, error) { return harness.CheckpointOverhead(sz) })
 	run("integrity", func() (*metrics.Table, error) { return harness.Integrity(sz) })
+	run("spill", func() (*metrics.Table, error) { return harness.SpillOverhead(sz) })
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,9 +70,19 @@ func main() {
 //	6  corrupt data — a page failed its checksum and recovery was not
 //	   possible; rebuild the device (or the flagged files) from source
 //	7  interrupted — a checkpoint was committed; rerun with -resume
+//	8  out of space — the -disk-cap quota held even after reclamation;
+//	   raise the quota or shrink the run
+//	9  deadline exceeded — the -timeout expired; on the MultiLogVC engine
+//	   a checkpoint was committed, so rerun with -resume
 //	1  anything else
 func exitCode(err error) int {
 	switch {
+	case errors.Is(err, multilogvc.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "mlvc: run deadline exceeded; rerun with -resume (MultiLogVC engine) or a larger -timeout")
+		return 9
+	case errors.Is(err, multilogvc.ErrNoSpace):
+		fmt.Fprintln(os.Stderr, "mlvc: device out of space after reclamation; raise -disk-cap or shrink the run")
+		return 8
 	case errors.Is(err, multilogvc.ErrInterrupted):
 		fmt.Fprintln(os.Stderr, "mlvc: interrupted; checkpoint committed — rerun with -resume to continue")
 		return 7
@@ -101,13 +112,16 @@ func usage() {
              [-source V] [-weighted] [-async] [-k N]
              [-no-edgelog] [-no-combiner] [-per-superstep]
              [-checkpoint-every K] [-resume] [-retries N]
+             [-timeout D] [-disk-cap BYTES] [-sort-budget BYTES]
              [-trace out.json] [-json report.json] [-listen :6060]
   mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)
   mlvc scrub -dir DIR [-page N] [-channels N]   (verify every page checksum)
 
 exit codes: 1 generic error, 2 usage, 3 transient retries exhausted,
             4 permanent device fault, 5 corrupt checkpoint,
-            6 corrupt data, 7 interrupted (checkpoint committed)`)
+            6 corrupt data, 7 interrupted (checkpoint committed),
+            8 out of space (quota held after reclamation),
+            9 deadline exceeded (checkpoint committed)`)
 }
 
 func cmdGen(args []string) error {
@@ -237,6 +251,9 @@ func cmdRun(args []string) error {
 	cacheMB := fs.Int("cache-mb", 0, "page-cache size in MiB; 0 (default) runs uncached")
 	noPrefetch := fs.Bool("no-prefetch", false, "disable async next-interval prefetch (cache stays on)")
 	retries := fs.Int("retries", 0, "max retries per transient device fault; 0 = default (3), -1 disables")
+	timeout := fs.Duration("timeout", 0, "run deadline; expiry commits a checkpoint and exits 9 (0 disables)")
+	diskCap := fs.Int64("disk-cap", 0, "device byte quota; writes past it reclaim then exit 8 (0 = unlimited)")
+	sortBudget := fs.Int64("sort-budget", 0, "in-memory sort bound (bytes); oversized logs spill to the device (0 = from -mem)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "commit a crash-recovery checkpoint every K supersteps; 0 disables")
 	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint on the device (requires -dir)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON span trace (Perfetto-loadable)")
@@ -268,7 +285,7 @@ func cmdRun(args []string) error {
 
 	sys, err := multilogvc.NewSystem(multilogvc.SystemOptions{
 		PageSize: *pageSize, Channels: *channels, Dir: *dir, CacheMB: *cacheMB,
-		MaxRetries: *retries,
+		MaxRetries: *retries, DiskCapacity: *diskCap,
 	})
 	if err != nil {
 		return err
@@ -318,6 +335,13 @@ func cmdRun(args []string) error {
 		}
 	}()
 
+	runCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+
 	res, err := g.Run(prog, multilogvc.RunOptions{
 		Engine:          engine,
 		MaxSupersteps:   *steps,
@@ -329,6 +353,8 @@ func cmdRun(args []string) error {
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
 		Interrupt:       interrupt,
+		Context:         runCtx,
+		SortBudget:      *sortBudget,
 	})
 	if err != nil {
 		return err

@@ -164,6 +164,23 @@ func Save(dev *ssd.Device, prefix string, st *State) error {
 	return mw.Close()
 }
 
+// GCStale removes the checkpoint slot NOT holding sequence newestSeq —
+// the older of the two alternating slots — freeing its device pages. It is
+// the checkpoint unit's space-reclamation hook (ssd.Device.AddReclaimer):
+// under disk pressure the stale slot's redundancy is traded for space. The
+// newest committed slot is never touched, so recovery always has a valid
+// checkpoint. Missing files (slot never written, or already collected) are
+// not an error.
+func GCStale(dev *ssd.Device, prefix string, newestSeq uint64) error {
+	stale := (newestSeq + 1) % 2
+	for _, name := range []string{dataName(prefix, stale), metaName(prefix, stale)} {
+		if err := dev.Remove(name); err != nil && !errors.Is(err, ssd.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load returns the newest committed checkpoint under prefix. A slot with
 // a torn or missing manifest (an interrupted commit) is skipped; a slot
 // with a committed manifest but failing payload is corruption evidence.

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -48,6 +49,13 @@ var ErrCorruptData = errors.New("core: corrupt data beyond recovery")
 // commits a checkpoint at the superstep boundary before returning, so an
 // interrupted run is always resumable with Config.Resume.
 var ErrInterrupted = errors.New("core: run interrupted; checkpoint committed")
+
+// ErrDeadline is returned when the run context passed to RunCtx expires.
+// A deadline observed at a superstep boundary commits a checkpoint first
+// (the same graceful path as ErrInterrupted); one observed mid-superstep —
+// by the device retry layer or the prefetcher wait — surfaces without one,
+// but the newest periodic checkpoint (if any) remains valid for Resume.
+var ErrDeadline = errors.New("core: run deadline exceeded")
 
 // maxRollbacks bounds how many times one Run re-executes from the newest
 // checkpoint after hitting corrupt vital data. Transiently-planted
@@ -129,6 +137,12 @@ type Config struct {
 	// returns ErrInterrupted, so the run can be finished later with
 	// Resume.
 	Interrupt <-chan struct{}
+	// SortBudget overrides the sort-and-group budget in bytes (0 derives
+	// it from MemoryBudget×SortPct, the paper's split). An interval log
+	// exceeding the budget no longer over-allocates: it spills through
+	// sortgroup's chunked external sort-group, trading extra device IO for
+	// a hard memory bound, with results identical to the in-memory path.
+	SortBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +170,60 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// reclaimState tracks what the run can safely give back under disk
+// pressure: the consumed intervals of the message-log generation being
+// drained (marked after each batch finishes) and the stale slot of the
+// newest committed checkpoint. The engine updates it at batch and boundary
+// transitions; the device calls reclaim from whichever goroutine's write
+// hit the quota.
+type reclaimState struct {
+	mu      sync.Mutex
+	dev     *ssd.Device
+	prefix  string
+	log     *mlog.Log
+	newest  uint64
+	hasCkpt bool
+	// ckptBusy suppresses checkpoint GC while a checkpoint write is in
+	// flight: the write targets exactly the slot the bookkeeping calls
+	// stale, so a reclaim triggered from inside it (a quota hit on the
+	// slot's own pages) would self-deadlock trying to remove the file the
+	// writer holds locked.
+	ckptBusy bool
+}
+
+func (r *reclaimState) setLog(l *mlog.Log) {
+	r.mu.Lock()
+	r.log = l
+	r.mu.Unlock()
+}
+
+func (r *reclaimState) noteCheckpoint(seq uint64) {
+	r.mu.Lock()
+	r.newest, r.hasCkpt = seq, true
+	r.mu.Unlock()
+}
+
+func (r *reclaimState) setCkptBusy(busy bool) {
+	r.mu.Lock()
+	r.ckptBusy = busy
+	r.mu.Unlock()
+}
+
+// reclaim is the registered device hook. Best-effort: errors are dropped —
+// a sweep that frees nothing leaves the retried reservation to fail
+// classified as ssd.ErrNoSpace, which is the honest outcome.
+func (r *reclaimState) reclaim() {
+	r.mu.Lock()
+	log, newest, has := r.log, r.newest, r.hasCkpt && !r.ckptBusy
+	r.mu.Unlock()
+	if log != nil {
+		_ = log.ReclaimConsumed()
+	}
+	if has {
+		_ = ckpt.GCStale(r.dev, r.prefix, newest)
+	}
+}
+
 // Engine runs vertex-centric programs with the MultiLogVC architecture.
 type Engine struct {
 	g   *csr.Graph
@@ -180,24 +248,48 @@ type Result struct {
 // through rollback — or strikes with checkpointing off — surfaces as
 // ErrCorruptData wrapping the page-level failure.
 func (e *Engine) Run(prog vc.Program) (*Result, error) {
-	res, err := e.runOnce(prog, e.cfg.Resume, 0)
-	if err == nil || !errors.Is(err, ssd.ErrCorruptPage) || errors.Is(err, ErrInterrupted) {
-		return res, err
+	return e.RunCtx(context.Background(), prog)
+}
+
+// RunCtx is Run bounded by a context. The context reaches every layer that
+// can stall: the superstep loop checks it at each boundary (committing a
+// checkpoint before returning ErrDeadline, like an interrupt), the device
+// retry layer abandons its backoff schedule when it expires, and the
+// prefetcher wait is cut short. A deadline expiry anywhere surfaces
+// classified as ErrDeadline.
+func (e *Engine) RunCtx(ctx context.Context, prog vc.Program) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	live := obsv.Live()
-	for rollbacks := 1; e.cfg.CheckpointEvery > 0 && rollbacks <= maxRollbacks; rollbacks++ {
-		live.Rollbacks.Add(1)
-		res, err = e.runOnce(prog, true, rollbacks)
-		if err == nil || !errors.Is(err, ssd.ErrCorruptPage) {
-			return res, err
+	dev := e.g.Device()
+	dev.SetRunContext(ctx)
+	defer dev.SetRunContext(nil)
+
+	res, err := e.runOnce(ctx, prog, e.cfg.Resume, 0)
+	if err != nil && errors.Is(err, ssd.ErrCorruptPage) && !errors.Is(err, ErrInterrupted) {
+		live := obsv.Live()
+		for rollbacks := 1; e.cfg.CheckpointEvery > 0 && rollbacks <= maxRollbacks; rollbacks++ {
+			live.Rollbacks.Add(1)
+			res, err = e.runOnce(ctx, prog, true, rollbacks)
+			if err == nil || !errors.Is(err, ssd.ErrCorruptPage) {
+				break
+			}
+		}
+		if err != nil && errors.Is(err, ssd.ErrCorruptPage) {
+			return nil, fmt.Errorf("%w: %w", ErrCorruptData, err)
 		}
 	}
-	return nil, fmt.Errorf("%w: %w", ErrCorruptData, err)
+	// Deadline expiry below a boundary (device retry, prefetcher wait)
+	// propagates as a raw context error; classify it like the boundary path.
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrDeadline) {
+		err = fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
+	return res, err
 }
 
 // runOnce is one execution attempt: resume selects the starting point and
 // rollbacks records how many rollback re-executions preceded this one.
-func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, error) {
+func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, rollbacks int) (*Result, error) {
 	cfg := e.cfg
 	cfg.Resume = resume
 	g := e.g
@@ -261,9 +353,10 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 
 	mlogBudget := cfg.MemoryBudget * int64(cfg.MLogPct) / 100
 	sortBudget := cfg.MemoryBudget * int64(cfg.SortPct) / 100
-	if cfg.DisableFusing {
-		sortBudget = 1 // every batch covers exactly one interval
+	if cfg.SortBudget > 0 {
+		sortBudget = cfg.SortBudget
 	}
+	sortOpts := sortgroup.Options{SortBudget: sortBudget, NoFuse: cfg.DisableFusing}
 	tr := cfg.Trace
 	curLog, err := mlog.New(dev, name+".mlog.0", len(ivs), mlogBudget)
 	if err != nil {
@@ -303,6 +396,30 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 		}
 	}
 
+	// Space governance: register what this run can give back when a write
+	// hits the disk quota — consumed intervals of the previous-generation
+	// message log and the stale checkpoint slot. The device runs these
+	// hooks and retries the failing write once before surfacing ErrNoSpace.
+	rcl := &reclaimState{dev: dev, prefix: ckptPrefix}
+	rcl.setLog(curLog)
+	if rst != nil {
+		rcl.noteCheckpoint(rst.Seq)
+	}
+	unregister := dev.AddReclaimer(rcl.reclaim)
+	defer unregister()
+
+	// Hoisted prefetcher cleanup: every early return below (load error,
+	// batch error, checkpoint error, context expiry) must drop the pin
+	// epochs covering in-flight batches, or the pinned frames would stay
+	// unevictable for the life of the cache.
+	if pf := cfg.Prefetcher; pf != nil {
+		defer func() {
+			pf.CancelPending()
+			pf.WaitIdle()
+			pf.ReleaseAll()
+		}()
+	}
+
 	var cumProcessed uint64
 	converged := false
 	live := obsv.Live()
@@ -322,11 +439,29 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 			// Graceful shutdown: the boundary state is consistent, so
 			// commit it — regardless of CheckpointEvery — and classify the
 			// exit so the caller knows a resume will pick up here.
-			if err := e.writeCheckpoint(ckptPrefix, ckptSeq, step, cumProcessed,
-				values, carry, aux, isAux, curLog, elog, pred, report, nil); err != nil {
+			rcl.setCkptBusy(true)
+			err := e.writeCheckpoint(ckptPrefix, ckptSeq, step, cumProcessed,
+				values, carry, aux, isAux, curLog, elog, pred, report, nil)
+			rcl.setCkptBusy(false)
+			if err != nil {
 				return nil, fmt.Errorf("core: interrupt checkpoint: %w", err)
 			}
 			return nil, fmt.Errorf("%w at superstep %d", ErrInterrupted, step)
+		case <-ctx.Done():
+			// Deadline or cancellation: same graceful boundary exit as an
+			// interrupt, classified so the caller can tell them apart.
+			rcl.setCkptBusy(true)
+			err := e.writeCheckpoint(ckptPrefix, ckptSeq, step, cumProcessed,
+				values, carry, aux, isAux, curLog, elog, pred, report, nil)
+			rcl.setCkptBusy(false)
+			if err != nil {
+				return nil, fmt.Errorf("core: deadline checkpoint: %w", err)
+			}
+			cause := ErrInterrupted
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				cause = ErrDeadline
+			}
+			return nil, fmt.Errorf("%w at superstep %d (checkpoint committed)", cause, step)
 		default:
 		}
 		var stepMuts []vc.Mutation
@@ -349,13 +484,18 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 		var pfEpoch uint64 // pins covering the batch about to be processed
 		for ivStart := 0; ivStart < len(ivs); {
 			loadSpan := tr.Begin("engine", "load+sort")
-			batch, err := sortgroup.LoadFused(curLog, ivs, ivStart, sortBudget)
+			batch, err := sortgroup.Load(curLog, ivs, ivStart, sortOpts)
 			if err != nil {
 				return nil, err
 			}
 			loadSpan.Arg("first_iv", int64(batch.FirstIv))
 			loadSpan.Arg("last_iv", int64(batch.LastIv))
 			loadSpan.Arg("records", int64(len(batch.Recs)))
+			if batch.Spilled {
+				loadSpan.Arg("spill_bytes", batch.SpillBytes())
+				ss.Spills++
+				ss.SpillBytes += uint64(batch.SpillBytes())
+			}
 			loadSpan.End()
 
 			// Warm the next batch's first interval in the background while
@@ -374,18 +514,37 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 				}
 			}
 
+			// A spilled batch arrives in destination-aligned chunks, each
+			// within the sort budget; an in-memory batch is one chunk. The
+			// chunks tile the interval's vertex range, so every vertex —
+			// message-activated or carry-only — is processed exactly once.
 			procSpan := tr.Begin("engine", "process-batch")
 			procSpan.Arg("first_iv", int64(batch.FirstIv))
-			if err := e.processBatch(&batchRun{
-				prog: prog, combiner: combiner, aux: aux, isAux: isAux,
-				values: values, batch: batch, carry: carry, step: step,
-				elog: elog, pred: pred, elogBudget: elogBudget,
-				nextLog: nextLog, curLog: curLog, ss: &ss,
-				muts: &stepMuts,
-			}); err != nil {
+			for err == nil {
+				if err = e.processBatch(&batchRun{
+					prog: prog, combiner: combiner, aux: aux, isAux: isAux,
+					values: values, batch: batch, carry: carry, step: step,
+					elog: elog, pred: pred, elogBudget: elogBudget,
+					nextLog: nextLog, curLog: curLog, ss: &ss,
+					muts: &stepMuts,
+				}); err != nil {
+					break
+				}
+				more, cerr := batch.NextChunk()
+				if cerr != nil || !more {
+					err = cerr
+					break
+				}
+			}
+			batch.Close()
+			if err != nil {
 				return nil, err
 			}
 			procSpan.End()
+			// The batch is fully drained: its intervals are never re-read
+			// this generation, so the device may reclaim their log pages
+			// under disk pressure.
+			curLog.MarkConsumed(batch.FirstIv, batch.LastIv)
 			if pf != nil {
 				// The pages pinned for this batch have been consumed; the
 				// ones pinned for the next batch stay until it finishes.
@@ -399,10 +558,14 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 		if pf != nil {
 			// Superstep boundary: stale predictions are worthless and the
 			// graph may mutate below — cancel queued jobs, wait out the one
-			// in flight, and drop every remaining pin.
+			// in flight (bounded by the run context), and drop every
+			// remaining pin.
 			pf.CancelPending()
-			pf.WaitIdle()
+			waitErr := pf.WaitIdleCtx(ctx)
 			pf.ReleaseAll()
+			if waitErr != nil {
+				return nil, waitErr
+			}
 		}
 
 		// Apply structural mutations at the superstep boundary (§V-E):
@@ -444,6 +607,7 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 		}
 
 		curLog, nextLog = nextLog, curLog
+		rcl.setLog(curLog)
 		if err := nextLog.ResetAll(); err != nil {
 			return nil, err
 		}
@@ -463,6 +627,9 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 		ss.RetryBackoff = devDelta.RetryBackoff
 		ss.RetriesExhausted = devDelta.RetriesExhausted
 		ss.CorruptPages = devDelta.CorruptPages
+		ss.NoSpaceFaults = devDelta.NoSpaceFaults
+		ss.Reclaims = devDelta.Reclaims
+		ss.ReclaimedBytes = devDelta.ReclaimedBytes
 		if cache := cfg.Cache; cache != nil {
 			cd := cache.Stats().Sub(cacheBefore)
 			ss.CacheHits = cd.Hits
@@ -488,10 +655,14 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 			ckSpan := tr.Begin("engine", "checkpoint")
 			ckSpan.Arg("step", int64(step+1))
 			ckBefore := dev.Stats()
-			if err := e.writeCheckpoint(ckptPrefix, ckptSeq, step+1, cumProcessed,
-				values, carry, aux, isAux, curLog, elog, pred, report, &ss); err != nil {
+			rcl.setCkptBusy(true)
+			err := e.writeCheckpoint(ckptPrefix, ckptSeq, step+1, cumProcessed,
+				values, carry, aux, isAux, curLog, elog, pred, report, &ss)
+			rcl.setCkptBusy(false)
+			if err != nil {
 				return nil, err
 			}
+			rcl.noteCheckpoint(ckptSeq)
 			ckptSeq++
 			ckDelta := dev.Stats().Sub(ckBefore)
 			ss.Checkpoints = 1
@@ -505,6 +676,9 @@ func (e *Engine) runOnce(prog vc.Program, resume bool, rollbacks int) (*Result, 
 			ss.RetryBackoff += ckDelta.RetryBackoff
 			ss.RetriesExhausted += ckDelta.RetriesExhausted
 			ss.CorruptPages += ckDelta.CorruptPages
+			ss.NoSpaceFaults += ckDelta.NoSpaceFaults
+			ss.Reclaims += ckDelta.Reclaims
+			ss.ReclaimedBytes += ckDelta.ReclaimedBytes
 			live.Checkpoints.Add(1)
 			ckSpan.Arg("pages", int64(ss.CheckpointPages))
 			ckSpan.End()
@@ -1149,6 +1323,15 @@ func publishLive(live *obsv.LiveVars, ss *metrics.SuperstepStats) {
 	}
 	if ss.ElogHealed > 0 {
 		live.ElogHeals.Add(int64(ss.ElogHealed))
+	}
+	if ss.Spills > 0 {
+		live.Spills.Add(int64(ss.Spills))
+		live.SpillBytes.Add(int64(ss.SpillBytes))
+	}
+	if ss.NoSpaceFaults > 0 || ss.Reclaims > 0 {
+		live.NoSpaceFaults.Add(int64(ss.NoSpaceFaults))
+		live.Reclaims.Add(int64(ss.Reclaims))
+		live.ReclaimedBytes.Add(int64(ss.ReclaimedBytes))
 	}
 }
 

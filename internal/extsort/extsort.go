@@ -44,123 +44,212 @@ type Source func(yield func(r Record) error) error
 // When combine is non-nil, records with equal destinations are merged.
 // Run files are deleted afterwards.
 func Sort(dev *ssd.Device, prefix string, src Source, memBudget int64, combine func(a, b uint32) uint32, emit Emit) (Stats, error) {
-	var st Stats
 	capRecs := int(memBudget / RecordBytes)
 	if capRecs < 2 {
 		capRecs = 2
 	}
 
-	var runFiles []*ssd.File
-	var runCounts []uint64
+	rs := NewRuns(dev, prefix, combine)
+	defer rs.Remove()
 	buf := make([]Record, 0, capRecs)
 
-	flushRun := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		sortRecs(buf)
-		if combine != nil {
-			buf = combineSorted(buf, combine, &st)
-		}
-		name := fmt.Sprintf("%s.run.%d", prefix, len(runFiles))
-		f, err := dev.OpenOrCreate(name)
-		if err != nil {
-			return err
-		}
-		if err := f.Truncate(); err != nil {
-			return err
-		}
-		w := ssd.NewWriter(f)
-		for _, r := range buf {
-			if err := writeRec(w, r); err != nil {
-				return err
-			}
-		}
-		if err := w.Close(); err != nil {
-			return err
-		}
-		runFiles = append(runFiles, f)
-		runCounts = append(runCounts, uint64(len(buf)))
-		buf = buf[:0]
-		return nil
-	}
-
 	err := src(func(r Record) error {
-		st.Input++
+		rs.st.Input++
 		buf = append(buf, r)
 		if len(buf) >= capRecs {
-			return flushRun()
+			err := rs.Flush(buf)
+			buf = buf[:0]
+			return err
 		}
 		return nil
 	})
 	if err != nil {
-		return st, err
+		return rs.st, err
 	}
 
-	if len(runFiles) == 0 {
+	if rs.NumRuns() == 0 {
 		// Everything fit in memory: no external phase.
 		sortRecs(buf)
 		if combine != nil {
-			buf = combineSorted(buf, combine, &st)
+			buf = combineSorted(buf, combine, &rs.st)
 		}
 		for _, r := range buf {
 			if err := emit(r); err != nil {
-				return st, err
+				return rs.st, err
 			}
-			st.Output++
+			rs.st.Output++
 		}
-		return st, nil
+		return rs.st, nil
 	}
-	if err := flushRun(); err != nil {
-		return st, err
+	if err := rs.Flush(buf); err != nil {
+		return rs.st, err
 	}
-	st.Runs = len(runFiles)
 
-	defer func() {
-		for i := range runFiles {
-			dev.Remove(fmt.Sprintf("%s.run.%d", prefix, i))
+	m := rs.Merge()
+	for {
+		r, ok, err := m.Next()
+		if err != nil {
+			return rs.st, err
 		}
-	}()
+		if !ok {
+			break
+		}
+		if err := emit(r); err != nil {
+			return rs.st, err
+		}
+		rs.st.Output++
+	}
+	return rs.st, nil
+}
 
-	// K-way merge.
-	h := &runHeap{}
-	for i, f := range runFiles {
-		rr := &runReader{r: ssd.NewReader(f, 16), remaining: runCounts[i]}
+// Runs accumulates sorted runs on the device for a later streaming merge —
+// the building block Sort (and sortgroup's spill path) is made of. Each
+// Flush sorts one memory-budget-sized chunk and writes it as run file
+// "<prefix>.run.N"; Merge streams the k-way merged record sequence. The
+// caller owns the run files' lifetime and must call Remove when done.
+type Runs struct {
+	dev     *ssd.Device
+	prefix  string
+	combine func(a, b uint32) uint32
+	files   []*ssd.File
+	counts  []uint64
+	st      Stats
+}
+
+// NewRuns prepares a run accumulator. combine, when non-nil, merges
+// equal-destination records within each run and across runs during Merge.
+func NewRuns(dev *ssd.Device, prefix string, combine func(a, b uint32) uint32) *Runs {
+	return &Runs{dev: dev, prefix: prefix, combine: combine}
+}
+
+// Flush sorts recs and writes them as one run. The slice is sorted in
+// place and may be reused by the caller afterwards. Empty input is a no-op.
+func (rs *Runs) Flush(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	sortRecs(recs)
+	if rs.combine != nil {
+		recs = combineSorted(recs, rs.combine, &rs.st)
+	}
+	name := fmt.Sprintf("%s.run.%d", rs.prefix, len(rs.files))
+	f, err := rs.dev.OpenOrCreate(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(); err != nil {
+		return err
+	}
+	w := ssd.NewWriter(f)
+	for _, r := range recs {
+		if err := writeRec(w, r); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	rs.files = append(rs.files, f)
+	rs.counts = append(rs.counts, uint64(len(recs)))
+	rs.st.Runs = len(rs.files)
+	return nil
+}
+
+// NumRuns returns how many runs have been flushed.
+func (rs *Runs) NumRuns() int { return len(rs.files) }
+
+// BytesWritten returns the record bytes written across all runs.
+func (rs *Runs) BytesWritten() int64 {
+	var n uint64
+	for _, c := range rs.counts {
+		n += c
+	}
+	return int64(n) * RecordBytes
+}
+
+// Stats returns the accumulated sort statistics.
+func (rs *Runs) Stats() Stats { return rs.st }
+
+// Remove deletes every run file. Safe to call more than once.
+func (rs *Runs) Remove() {
+	for i := range rs.files {
+		rs.dev.Remove(fmt.Sprintf("%s.run.%d", rs.prefix, i))
+	}
+	rs.files = nil
+	rs.counts = nil
+}
+
+// Merge starts the k-way merge over every flushed run and returns the
+// streaming iterator. No further Flush calls are allowed afterwards.
+func (rs *Runs) Merge() *Merger {
+	m := &Merger{rs: rs, h: &runHeap{}}
+	for i, f := range rs.files {
+		rr := &runReader{r: ssd.NewReader(f, 16), remaining: rs.counts[i]}
 		if rr.advance() {
-			heap.Push(h, rr)
+			heap.Push(m.h, rr)
+		} else if rr.err != nil {
+			m.err = rr.err
 		}
 	}
-	var pending Record
-	havePending := false
-	for h.Len() > 0 {
-		rr := (*h)[0]
+	return m
+}
+
+// Merger streams the merged, destination-ordered record sequence of a run
+// set. Unlike Sort's internal merge it is pull-based, so a consumer can
+// process the output in memory-bounded chunks (sortgroup's spill mode).
+type Merger struct {
+	rs          *Runs
+	h           *runHeap
+	pending     Record
+	havePending bool
+	err         error
+}
+
+// Next returns the next merged record. The second result is false when the
+// sequence is exhausted. Read errors on run files surface here — a Merger
+// never silently truncates its output.
+func (m *Merger) Next() (Record, bool, error) {
+	if m.err != nil {
+		return Record{}, false, m.err
+	}
+	for m.h.Len() > 0 {
+		rr := (*m.h)[0]
 		cur := rr.cur
 		if rr.advance() {
-			heap.Fix(h, 0)
+			heap.Fix(m.h, 0)
 		} else {
-			heap.Pop(h)
+			if rr.err != nil {
+				m.err = rr.err
+				return Record{}, false, m.err
+			}
+			heap.Pop(m.h)
 		}
-		if combine != nil && havePending && pending.Dst == cur.Dst {
-			pending.Data = combine(pending.Data, cur.Data)
-			st.Combined++
+		if m.rs.combine != nil && m.havePending && m.pending.Dst == cur.Dst {
+			m.pending.Data = m.rs.combine(m.pending.Data, cur.Data)
+			m.rs.st.Combined++
 			continue
 		}
-		if havePending {
-			if err := emit(pending); err != nil {
-				return st, err
-			}
-			st.Output++
+		if m.havePending {
+			m.pending, cur = cur, m.pending
+			m.rs.st.Output++
+			return cur, true, nil
 		}
-		pending = cur
-		havePending = true
+		m.pending = cur
+		m.havePending = true
 	}
-	if havePending {
-		if err := emit(pending); err != nil {
-			return st, err
-		}
-		st.Output++
+	if m.havePending {
+		m.havePending = false
+		m.rs.st.Output++
+		return m.pending, true, nil
 	}
-	return st, nil
+	return Record{}, false, nil
+}
+
+// Close releases the merger and deletes the underlying run files.
+func (m *Merger) Close() {
+	*m.h = (*m.h)[:0]
+	m.havePending = false
+	m.rs.Remove()
 }
 
 func sortRecs(recs []Record) {
@@ -200,15 +289,18 @@ type runReader struct {
 	r         *ssd.Reader
 	remaining uint64
 	cur       Record
+	err       error // sticky read failure; checked by Merger
 }
 
-// advance loads the next record into cur; false at end of run.
+// advance loads the next record into cur; false at end of run or on a read
+// error (recorded in err so the merge can surface it).
 func (rr *runReader) advance() bool {
 	if rr.remaining == 0 {
 		return false
 	}
 	var rec [RecordBytes]byte
 	if err := rr.r.ReadFull(rec[:]); err != nil {
+		rr.err = err
 		return false
 	}
 	rr.cur = Record{

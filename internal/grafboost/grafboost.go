@@ -16,6 +16,7 @@
 package grafboost
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -47,6 +48,10 @@ type Config struct {
 	// StopAfter ends the run after the superstep for which it returns
 	// true.
 	StopAfter func(superstep int, cumProcessed uint64) bool
+	// Context, when non-nil, aborts the run at the next superstep boundary
+	// once cancelled or past its deadline. The baseline has no checkpoint
+	// machinery, so the run just stops with the context's error wrapped.
+	Context context.Context
 	// Cache is the page cache attached to the device, if any; the engine
 	// only reads its counters for per-superstep reporting. The caller owns
 	// attachment and lifecycle.
@@ -111,6 +116,12 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	}
 	wallStart := time.Now()
 
+	if cfg.Context != nil {
+		// Let the device's retry backoff observe cancellation too.
+		dev.SetRunContext(cfg.Context)
+		defer dev.SetRunContext(nil)
+	}
+
 	values, err := csr.CreateValuesFunc(dev, name+".gb.values", n, func(v uint32) uint32 {
 		return prog.InitValue(v, n)
 	})
@@ -154,6 +165,11 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		if !carry.Any() && logCount == 0 {
 			converged = true
 			break
+		}
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("grafboost: run aborted at superstep %d: %w", step, err)
+			}
 		}
 		stepStart := time.Now()
 		devBefore := dev.Stats()

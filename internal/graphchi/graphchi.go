@@ -16,6 +16,8 @@
 package graphchi
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -41,6 +43,10 @@ type Config struct {
 	// StopAfter, when non-nil, ends the run after the superstep for which
 	// it returns true (same contract as the MultiLogVC engine).
 	StopAfter func(superstep int, cumProcessed uint64) bool
+	// Context, when non-nil, aborts the run at the next superstep boundary
+	// once cancelled or past its deadline. The baseline has no checkpoint
+	// machinery, so the run just stops with the context's error wrapped.
+	Context context.Context
 	// Cache is the page cache attached to the device, if any; the engine
 	// only reads its counters for per-superstep reporting. The caller owns
 	// attachment and lifecycle.
@@ -113,6 +119,12 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	report := &metrics.Report{Engine: "graphchi", App: prog.Name(), Graph: e.name}
 	wallStart := time.Now()
 
+	if cfg.Context != nil {
+		// Let the device's retry backoff observe cancellation too.
+		e.dev.SetRunContext(cfg.Context)
+		defer e.dev.SetRunContext(nil)
+	}
+
 	auxUser, isAux := prog.(vc.AuxUser)
 	initVal := uint32(0)
 	if isAux {
@@ -152,6 +164,11 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		if !active.Any() {
 			converged = true
 			break
+		}
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("graphchi: run aborted at superstep %d: %w", step, err)
+			}
 		}
 		stepStart := time.Now()
 		devBefore := e.dev.Stats()

@@ -1,0 +1,38 @@
+package harness
+
+import "testing"
+
+// TestChaosSoak drives the randomized resource-governance soak: every
+// case mixes transient faults, corruption, crashes, no-space, forced
+// spilling, and deadlines/cancellation over random graphs and engines,
+// and must end bit-identical to the reference or cleanly classified.
+// CI runs this under -race as the short-soak job; crank the count for a
+// longer local soak.
+func TestChaosSoak(t *testing.T) {
+	cases := 40
+	if testing.Short() {
+		cases = 8
+	}
+	var classified, resumed, clean int
+	for i := 0; i < cases; i++ {
+		seed := 0xC4A05<<16 | int64(i)
+		out, err := ChaosCase(seed)
+		if err != nil {
+			t.Fatalf("chaos case %d: %v", i, err)
+		}
+		switch {
+		case out.Resumed:
+			resumed++
+		case out.Classified != "":
+			classified++
+		default:
+			clean++
+		}
+		t.Logf("seed %#x %s/%s [%s] -> classified=%q resumed=%v",
+			seed, out.Engine, out.App, out.Schedule, out.Classified, out.Resumed)
+	}
+	t.Logf("soak: %d clean, %d classified, %d resumed of %d", clean, classified, resumed, cases)
+	if clean == 0 {
+		t.Error("soak never completed a clean run — schedules are too hot to exercise the success path")
+	}
+}

@@ -637,3 +637,58 @@ func Integrity(size Size) (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// SpillOverhead measures the sort-budget spill path: PageRank with an
+// unconstrained sort budget against sort budgets that force a growing
+// share of interval logs through the external sort-group. Values are
+// asserted bit-identical, so the table reports pure overhead: extra pages
+// written (sorted runs), extra storage time, and the spill volume.
+func SpillOverhead(size Size) (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:   "Sort-budget spill overhead (pagerank)",
+		Headers: []string{"dataset", "budget", "spills", "spill MB", "pages w", "storage", "overhead"},
+	}
+	dss, err := Datasets(size)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range dss {
+		var base float64
+		var want []uint32
+		for _, budget := range []int64{0, 64 << 10, 8 << 10, 1 << 10} {
+			env, err := Prepare(ds, EnvOptions{})
+			if err != nil {
+				return nil, err
+			}
+			rep, got, err := RunMLVC(env, &apps.PageRank{},
+				RunOpts{MaxSupersteps: MaxSupersteps, SortBudget: budget})
+			if err != nil {
+				return nil, err
+			}
+			if budget == 0 {
+				want = got
+			} else {
+				for v := range want {
+					if got[v] != want[v] {
+						return nil, fmt.Errorf("spill run (budget %d) diverged at vertex %d on %s", budget, v, ds.Name)
+					}
+				}
+			}
+			storage := float64(rep.StorageTime)
+			overhead := "-"
+			label := "unbounded"
+			if budget == 0 {
+				base = storage
+			} else {
+				label = fmt.Sprintf("%dK", budget>>10)
+				if base > 0 {
+					overhead = fmt.Sprintf("%+.1f%%", 100*(storage-base)/base)
+				}
+			}
+			t.AddRow(ds.Name, label, fmt.Sprint(rep.Spills),
+				fmt.Sprintf("%.2f", float64(rep.SpillBytes)/(1<<20)),
+				fmt.Sprint(rep.PagesWritten), metrics.D(rep.StorageTime), overhead)
+		}
+	}
+	return t, nil
+}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"multilogvc/internal/core"
@@ -158,6 +159,9 @@ type EnvOptions struct {
 	// NoVerify disables page-checksum maintenance and verification on
 	// the device — only for measuring integrity overhead.
 	NoVerify bool
+	// Capacity caps the device byte footprint (ssd.Config.Capacity);
+	// 0 leaves it unbounded.
+	Capacity int64
 }
 
 // attachCache resolves opts.CacheMB against DefaultCacheMB and attaches
@@ -192,7 +196,7 @@ func Prepare(ds Dataset, opts EnvOptions) (*Env, error) {
 			opts.MemBudget = 64 << 10
 		}
 	}
-	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir, NoVerify: opts.NoVerify})
+	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir, NoVerify: opts.NoVerify, Capacity: opts.Capacity})
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +239,13 @@ type RunOpts struct {
 	// checkpoints at the next superstep boundary and returns
 	// core.ErrInterrupted (MultiLogVC engine only).
 	Interrupt <-chan struct{}
+	// Context bounds the run (deadline or cancellation); nil means
+	// context.Background(). All three engines honor it.
+	Context context.Context
+	// SortBudget overrides the in-memory sort bound (MultiLogVC engine
+	// only); interval logs above it spill through the external
+	// sort-group. 0 derives it from the memory budget.
+	SortBudget int64
 }
 
 func (o RunOpts) budget(env *Env) int64 {
@@ -253,6 +264,7 @@ func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, e
 	}
 	eng := core.New(env.Graph, core.Config{
 		MemoryBudget:    o.budget(env),
+		SortBudget:      o.SortBudget,
 		MaxSupersteps:   o.MaxSupersteps,
 		StopAfter:       o.StopAfter,
 		DisableEdgeLog:  o.DisableEdgeLog,
@@ -266,7 +278,11 @@ func RunMLVC(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint32, e
 		Resume:          o.Resume,
 		Interrupt:       o.Interrupt,
 	})
-	res, err := eng.Run(prog)
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := eng.RunCtx(ctx, prog)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: multilogvc/%s on %s: %w", prog.Name(), env.DS.Name, err)
 	}
@@ -281,6 +297,7 @@ func RunGraphChi(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint3
 		StopAfter:     o.StopAfter,
 		Workers:       o.Workers,
 		Cache:         env.Cache,
+		Context:       o.Context,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {
@@ -299,6 +316,7 @@ func RunGraFBoost(env *Env, prog vc.Program, o RunOpts) (*metrics.Report, []uint
 		Adapted:       o.Adapted,
 		Workers:       o.Workers,
 		Cache:         env.Cache,
+		Context:       o.Context,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {
@@ -324,7 +342,7 @@ func PrepareWeighted(ds Dataset, wedges []graphio.WeightedEdge, opts EnvOptions)
 			opts.MemBudget = 64 << 10
 		}
 	}
-	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir, NoVerify: opts.NoVerify})
+	dev, err := ssd.Open(ssd.Config{PageSize: opts.PageSize, Channels: opts.Channels, Dir: opts.Dir, NoVerify: opts.NoVerify, Capacity: opts.Capacity})
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +364,7 @@ func RunGraphChiWeighted(env *Env, wedges []graphio.WeightedEdge, prog vc.Progra
 		StopAfter:     o.StopAfter,
 		Workers:       o.Workers,
 		Cache:         env.Cache,
+		Context:       o.Context,
 	})
 	res, err := eng.Run(prog)
 	if err != nil {

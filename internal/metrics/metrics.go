@@ -72,6 +72,17 @@ type SuperstepStats struct {
 	CheckpointPages uint64        `json:"checkpoint_pages,omitempty"`
 	CheckpointTime  time.Duration `json:"checkpoint_ns,omitempty"`
 
+	// Resource-governance accounting: interval logs that overflowed the
+	// sort budget into the external sort-group this superstep, the record
+	// bytes they spilled through the device, and disk-quota events (no-space
+	// faults hit, reclamation sweeps run, bytes those sweeps freed). All
+	// zero on ungoverned runs.
+	Spills         uint64 `json:"spills,omitempty"`
+	SpillBytes     uint64 `json:"spill_bytes,omitempty"`
+	NoSpaceFaults  uint64 `json:"no_space_faults,omitempty"`
+	Reclaims       uint64 `json:"reclaims,omitempty"`
+	ReclaimedBytes uint64 `json:"reclaimed_bytes,omitempty"`
+
 	// MsgSkew is the per-interval message imbalance of the superstep:
 	// max interval log volume over the mean across all intervals (1.0 =
 	// perfectly balanced; 0 when no messages flowed). Engines that do not
@@ -144,6 +155,13 @@ type Report struct {
 	CorruptPages uint64
 	ElogHealed   uint64
 
+	// Resource-governance totals over the run.
+	Spills         uint64
+	SpillBytes     uint64
+	NoSpaceFaults  uint64
+	Reclaims       uint64
+	ReclaimedBytes uint64
+
 	// Resumed records that the run restarted from a checkpoint instead of
 	// superstep 0; ResumeStep is the first superstep executed after
 	// restore. Supersteps before it come from the checkpoint.
@@ -176,6 +194,8 @@ func (r *Report) Finish() {
 	r.TransientFaults, r.Retries, r.RetryBackoff = 0, 0, 0
 	r.RetriesExhausted, r.CorruptPages, r.ElogHealed = 0, 0, 0
 	r.Checkpoints, r.CheckpointPages, r.CheckpointTime = 0, 0, 0
+	r.Spills, r.SpillBytes = 0, 0
+	r.NoSpaceFaults, r.Reclaims, r.ReclaimedBytes = 0, 0, 0
 	for _, s := range r.Supersteps {
 		r.PagesRead += s.PagesRead
 		r.PagesWritten += s.PagesWritten
@@ -196,6 +216,11 @@ func (r *Report) Finish() {
 		r.Checkpoints += s.Checkpoints
 		r.CheckpointPages += s.CheckpointPages
 		r.CheckpointTime += s.CheckpointTime
+		r.Spills += s.Spills
+		r.SpillBytes += s.SpillBytes
+		r.NoSpaceFaults += s.NoSpaceFaults
+		r.Reclaims += s.Reclaims
+		r.ReclaimedBytes += s.ReclaimedBytes
 	}
 }
 
@@ -271,6 +296,10 @@ func (r *Report) String() string {
 				r.CorruptPages, r.ElogHealed, r.Rollbacks)
 		}
 	}
+	if r.Spills > 0 || r.NoSpaceFaults > 0 || r.Reclaims > 0 {
+		s += fmt.Sprintf("\n  governance: %d sort-budget spills (%d bytes), %d no-space faults, %d reclaims (%d bytes freed)",
+			r.Spills, r.SpillBytes, r.NoSpaceFaults, r.Reclaims, r.ReclaimedBytes)
+	}
 	return s
 }
 
@@ -316,6 +345,12 @@ type reportJSON struct {
 	Resumed          bool          `json:"resumed,omitempty"`
 	ResumeStep       int           `json:"resume_step,omitempty"`
 	Rollbacks        int           `json:"rollbacks,omitempty"`
+
+	Spills         uint64 `json:"spills,omitempty"`
+	SpillBytes     uint64 `json:"spill_bytes,omitempty"`
+	NoSpaceFaults  uint64 `json:"no_space_faults,omitempty"`
+	Reclaims       uint64 `json:"reclaims,omitempty"`
+	ReclaimedBytes uint64 `json:"reclaimed_bytes,omitempty"`
 
 	Supersteps []SuperstepStats `json:"supersteps"`
 }
@@ -363,6 +398,12 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		ResumeStep:       r.ResumeStep,
 		Rollbacks:        r.Rollbacks,
 
+		Spills:         r.Spills,
+		SpillBytes:     r.SpillBytes,
+		NoSpaceFaults:  r.NoSpaceFaults,
+		Reclaims:       r.Reclaims,
+		ReclaimedBytes: r.ReclaimedBytes,
+
 		Supersteps: r.Supersteps,
 	})
 }
@@ -404,6 +445,12 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Resumed:          in.Resumed,
 		ResumeStep:       in.ResumeStep,
 		Rollbacks:        in.Rollbacks,
+
+		Spills:         in.Spills,
+		SpillBytes:     in.SpillBytes,
+		NoSpaceFaults:  in.NoSpaceFaults,
+		Reclaims:       in.Reclaims,
+		ReclaimedBytes: in.ReclaimedBytes,
 
 		Supersteps: in.Supersteps,
 	}

@@ -53,8 +53,23 @@ type Log struct {
 	totalMu sync.Mutex
 	total   uint64
 
+	// consumed marks intervals whose records were fully processed this
+	// superstep; ReclaimConsumed (the device's space-reclamation hook)
+	// truncates their logs early instead of waiting for the generation
+	// swap. Guarded by consumedMu, never by the per-interval locks.
+	consumedMu sync.Mutex
+	consumed   []bool
+
 	tr *obsv.Trace // nil = tracing disabled
 }
+
+// Device returns the device hosting the log files; Prefix the file-name
+// prefix. The spill path (internal/sortgroup) externally sorts an
+// oversized interval onto the same device under a derived prefix.
+func (l *Log) Device() *ssd.Device { return l.dev }
+
+// Prefix returns the log's device file-name prefix.
+func (l *Log) Prefix() string { return l.prefix }
 
 // SetTracer attaches a span tracer; evictions and flushes emit spans on
 // it. A nil tracer (the default) disables tracing.
@@ -85,6 +100,7 @@ func New(dev *ssd.Device, prefix string, numIntervals int, budget int64) (*Log, 
 		fill:      make([]int, numIntervals),
 		full:      make([][][]byte, numIntervals),
 		count:     make([]uint64, numIntervals),
+		consumed:  make([]bool, numIntervals),
 	}
 	if l.recPerPag == 0 {
 		return nil, fmt.Errorf("mlog: page size %d smaller than record", ps)
@@ -351,9 +367,74 @@ func (l *Log) FilePages(iv int) (*ssd.File, []int) {
 	return f, pages
 }
 
+// MarkConsumed records that intervals [first, last] have been fully
+// processed this superstep: their records were delivered and will never be
+// re-read from this generation (the next read happens after ResetAll).
+// ReclaimConsumed may truncate their logs to free device space.
+func (l *Log) MarkConsumed(first, last int) {
+	l.consumedMu.Lock()
+	for iv := first; iv <= last && iv < len(l.consumed); iv++ {
+		if iv >= 0 {
+			l.consumed[iv] = true
+		}
+	}
+	l.consumedMu.Unlock()
+}
+
+// ReclaimConsumed truncates the log files of every consumed interval and
+// drops their buffers and counters, freeing device pages. It is the
+// multi-log's space-reclamation hook (ssd.Device.AddReclaimer): safe to
+// call from any goroutine, including mid-write on another file, and
+// idempotent — each consumed interval is reclaimed once. It must not run
+// concurrently with Read or Flush of the same intervals; the engine only
+// marks intervals consumed after it is done reading them.
+func (l *Log) ReclaimConsumed() error {
+	l.consumedMu.Lock()
+	var ivs []int
+	for iv, c := range l.consumed {
+		if c {
+			ivs = append(ivs, iv)
+			l.consumed[iv] = false
+		}
+	}
+	l.consumedMu.Unlock()
+	for _, iv := range ivs {
+		l.mu[iv].Lock()
+		dropped := len(l.full[iv])
+		n := l.count[iv]
+		l.top[iv] = nil
+		l.fill[iv] = 0
+		l.full[iv] = nil
+		l.count[iv] = 0
+		f := l.files[iv]
+		l.mu[iv].Unlock()
+		if dropped > 0 {
+			l.evictMu.Lock()
+			l.buffered -= int64(dropped * l.pageSize)
+			l.evictMu.Unlock()
+		}
+		if n > 0 {
+			l.totalMu.Lock()
+			l.total -= n
+			l.totalMu.Unlock()
+		}
+		if f != nil && f.NumPages() > 0 {
+			if err := f.Truncate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // ResetAll truncates every interval log and zeroes the counters, readying
 // the generation for reuse.
 func (l *Log) ResetAll() error {
+	l.consumedMu.Lock()
+	for iv := range l.consumed {
+		l.consumed[iv] = false
+	}
+	l.consumedMu.Unlock()
 	for iv := range l.mu {
 		l.mu[iv].Lock()
 		l.top[iv] = nil

@@ -43,6 +43,13 @@ type LiveVars struct {
 	CorruptPages *expvar.Int // pages that failed checksum verification
 	ElogHeals    *expvar.Int // edge-log generations healed from CSR
 	Rollbacks    *expvar.Int // runs rolled back to a checkpoint on corruption
+
+	// Resource-governance counters: cumulative across runs in the process.
+	Spills         *expvar.Int // interval logs spilled through the external sort-group
+	SpillBytes     *expvar.Int // record bytes those spills wrote to the device
+	NoSpaceFaults  *expvar.Int // writes that hit the disk quota (or injected no-space)
+	Reclaims       *expvar.Int // space-reclamation sweeps run
+	ReclaimedBytes *expvar.Int // bytes freed by those sweeps
 }
 
 var (
@@ -75,6 +82,12 @@ func Live() *LiveVars {
 			CorruptPages: expvar.NewInt("mlvc.corrupt_pages"),
 			ElogHeals:    expvar.NewInt("mlvc.elog_heals"),
 			Rollbacks:    expvar.NewInt("mlvc.rollbacks"),
+
+			Spills:         expvar.NewInt("mlvc.spills"),
+			SpillBytes:     expvar.NewInt("mlvc.spill_bytes"),
+			NoSpaceFaults:  expvar.NewInt("mlvc.no_space_faults"),
+			Reclaims:       expvar.NewInt("mlvc.reclaims"),
+			ReclaimedBytes: expvar.NewInt("mlvc.reclaimed_bytes"),
 		}
 	})
 	return liveVars

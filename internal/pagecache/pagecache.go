@@ -381,6 +381,23 @@ func (s *shard) dropFrame(i int) {
 	s.stats.Invalidations++
 }
 
+// PinnedPages returns the total outstanding pin count across all frames.
+// A finished engine run must leave this at zero — every pin taken by the
+// prefetcher's epochs or the demand path has to be released on every exit
+// path, including cancellation. Tests assert on it to catch pin leaks.
+func (c *Cache) PinnedPages() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for j := range s.frames {
+			n += int(s.frames[j].pins)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Resident returns the number of pages currently cached.
 func (c *Cache) Resident() int {
 	n := 0

@@ -1,0 +1,111 @@
+package pagecache
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// RequireNoPins is the pin-leak assertion: after an engine run (or any
+// prefetch epoch cycle) finishes, no frame may hold an outstanding pin —
+// a leaked pin silently shrinks the evictable pool for the rest of the
+// process. Engine-level tests call this on the run's cache.
+func RequireNoPins(t *testing.T, c *Cache) {
+	t.Helper()
+	if n := c.PinnedPages(); n != 0 {
+		t.Fatalf("pin leak: %d outstanding pins after release", n)
+	}
+}
+
+func TestPinnedPagesAccounting(t *testing.T) {
+	c := newTest(4)
+	c.Put(1, 0, page(1), false)
+	c.Put(1, 1, page(2), false)
+	RequireNoPins(t, c)
+
+	c.Pin(1, 0)
+	c.Pin(1, 0) // pins nest
+	c.Pin(1, 1)
+	if got := c.PinnedPages(); got != 3 {
+		t.Fatalf("PinnedPages = %d, want 3", got)
+	}
+	c.Unpin(1, 0)
+	c.Unpin(1, 1)
+	if got := c.PinnedPages(); got != 1 {
+		t.Fatalf("PinnedPages = %d, want 1", got)
+	}
+	c.Unpin(1, 0)
+	RequireNoPins(t, c)
+	c.Unpin(1, 0) // over-release is a no-op
+	RequireNoPins(t, c)
+}
+
+// Every epoch lifecycle exit — explicit release, ReleaseAll backstop, and
+// Close — must drop the pins it took.
+func TestEpochLifecycleLeavesNoPins(t *testing.T) {
+	_, c, f := newDevCache(t, 8)
+	p := NewPrefetcher(8)
+
+	ep := p.BeginEpoch()
+	p.Submit(ep, Job{File: f, Pages: []int{0, 1}, Pin: true})
+	p.WaitIdle()
+	if c.PinnedPages() == 0 {
+		t.Fatal("prefetch with Pin took no pins")
+	}
+	p.ReleaseEpoch(ep)
+	RequireNoPins(t, c)
+
+	ep2 := p.BeginEpoch()
+	p.Submit(ep2, Job{File: f, Pages: []int{2, 3}, Pin: true})
+	p.WaitIdle()
+	p.ReleaseAll() // superstep-boundary backstop, epoch never released
+	RequireNoPins(t, c)
+
+	ep3 := p.BeginEpoch()
+	p.Submit(ep3, Job{File: f, Pages: []int{4}, Pin: true})
+	p.Close() // engine teardown with an epoch still live
+	RequireNoPins(t, c)
+}
+
+func TestWaitIdleCtx(t *testing.T) {
+	_, _, f := newDevCache(t, 8)
+	p := NewPrefetcher(8)
+	defer p.Close()
+
+	// Live context, idle queue: returns nil immediately.
+	if err := p.WaitIdleCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker blocked on a job: a cancelled context unblocks the wait with
+	// the context's error instead of hanging.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	ep := p.BeginEpoch()
+	p.Submit(ep, Job{Expand: func() ([]Job, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.WaitIdleCtx(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("WaitIdleCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitIdleCtx did not observe cancellation")
+	}
+	close(release)
+	p.WaitIdle()
+
+	// After the queue drains a fresh wait succeeds again.
+	p.Submit(ep, Job{File: f, Pages: []int{1}})
+	if err := p.WaitIdleCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

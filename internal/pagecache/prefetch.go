@@ -1,6 +1,7 @@
 package pagecache
 
 import (
+	"context"
 	"sync"
 
 	"multilogvc/internal/ssd"
@@ -200,6 +201,28 @@ func (p *Prefetcher) WaitIdle() {
 		p.cond.Wait()
 	}
 	p.mu.Unlock()
+}
+
+// WaitIdleCtx is WaitIdle bounded by a context: it returns the context's
+// error as soon as ctx is done, leaving any still-pending jobs to finish
+// (or be cancelled) in the background. Engines use it so a run deadline is
+// not overshot waiting for an unlucky prefetch queue.
+func (p *Prefetcher) WaitIdleCtx(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pending > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.cond.Wait()
+	}
+	return ctx.Err()
 }
 
 // Close cancels pending work, stops the worker, and releases all pins.

@@ -3,12 +3,24 @@
 // consecutive intervals while they fit the sort budget (§V-A2), sorts the
 // records in memory by destination vertex, and serves per-vertex message
 // groups to the engine.
+//
+// The paper sizes intervals so one interval's worst-case log fits the sort
+// budget, but at runtime a log can exceed that build-time bound (random
+// walk sends multiple walkers per edge; structural updates grow in-degrees
+// after intervals are fixed). Rather than over-allocating, an oversized
+// interval falls back to a chunked external sort-group built on
+// internal/extsort's k-way merge: the log is cut into budget-sized sorted
+// runs on the device and served back as destination-aligned chunks, each
+// within the budget. Results are identical to the in-memory path — every
+// record is delivered to its destination exactly once.
 package sortgroup
 
 import (
+	"fmt"
 	"sort"
 
 	"multilogvc/internal/csr"
+	"multilogvc/internal/extsort"
 	"multilogvc/internal/mlog"
 	"multilogvc/internal/vc"
 )
@@ -19,26 +31,77 @@ type Rec struct {
 }
 
 // Batch is the sorted, grouped update set of one or more fused intervals.
+// A spilled batch (Spilled true) serves one budget-sized chunk at a time:
+// Recs holds the current chunk, NextChunk advances, and Close releases the
+// on-device run files.
 type Batch struct {
 	// FirstIv and LastIv delimit the fused interval range [FirstIv, LastIv].
 	FirstIv, LastIv int
-	// Lo and Hi delimit the covered vertex range [Lo, Hi).
+	// Lo and Hi delimit the vertex range [Lo, Hi) covered by the current
+	// chunk (the whole fused range for in-memory batches).
 	Lo, Hi uint32
-	// Recs are the updates sorted by destination.
+	// Recs are the updates sorted by destination — the current chunk of a
+	// spilled batch, or everything for an in-memory one.
 	Recs []Rec
+	// Spilled reports that the interval's log exceeded the sort budget and
+	// is being served through the external sort-group.
+	Spilled bool
+
+	spill *spillState
 }
 
-// LoadFused loads the log of interval startIv and keeps fusing the
-// following intervals' logs while the estimated total record volume stays
-// within sortBudget bytes (always at least one interval). Records are
-// sorted by destination. The per-interval record counters provide the
-// first-order size estimate, as in the paper.
+// spillState is the external-sort cursor of a spilled batch.
+type spillState struct {
+	runs       *extsort.Runs
+	m          *extsort.Merger
+	budgetRecs int
+	next       extsort.Record // lookahead across the chunk boundary
+	have       bool
+	ivHi       uint32 // owning interval's Hi: the last chunk extends to it
+	nextLo     uint32 // vertex range low bound of the next chunk
+	bytes      int64  // run bytes written to the device
+}
+
+// Options tunes Load.
+type Options struct {
+	// SortBudget bounds the in-memory record volume in bytes: logs fuse
+	// while they fit under it, and a single interval's log exceeding it is
+	// spilled through the external sort-group. <= 0 means unbounded (fuse
+	// everything, never spill).
+	SortBudget int64
+	// NoFuse disables fusing of non-empty logs (the §V-A2 ablation)
+	// without shrinking the budget — an oversized interval still spills
+	// rather than over-allocating. Consecutive empty logs still fuse:
+	// they carry no sort work, and batch boundaries between them would
+	// only change async forward-delivery cutoffs, not save memory.
+	NoFuse bool
+}
+
+// LoadFused is Load with fusing on — the historical entry point.
 func LoadFused(log *mlog.Log, ivs []csr.Interval, startIv int, sortBudget int64) (*Batch, error) {
-	last := startIv
+	return Load(log, ivs, startIv, Options{SortBudget: sortBudget})
+}
+
+// Load loads the log of interval startIv and keeps fusing the following
+// intervals' logs while the estimated total record volume stays within the
+// sort budget (always at least one interval). Records are sorted by
+// destination. The per-interval record counters provide the first-order
+// size estimate, as in the paper. When startIv's log alone exceeds the
+// budget, the batch is served through the spill path (see Batch).
+func Load(log *mlog.Log, ivs []csr.Interval, startIv int, opts Options) (*Batch, error) {
+	budget := opts.SortBudget
 	total := int64(log.Count(startIv)) * mlog.RecordBytes
+	if budget > 0 && total > budget {
+		return loadSpilled(log, ivs[startIv], startIv, budget)
+	}
+	last := startIv
 	for last+1 < len(ivs) {
 		next := int64(log.Count(last+1)) * mlog.RecordBytes
-		if total+next > sortBudget {
+		if opts.NoFuse {
+			if total+next > 0 {
+				break // only empty logs fuse under the ablation
+			}
+		} else if budget > 0 && total+next > budget {
 			break
 		}
 		total += next
@@ -61,6 +124,127 @@ func LoadFused(log *mlog.Log, ivs []csr.Interval, startIv int, sortBudget int64)
 	}
 	sort.Slice(b.Recs, func(i, j int) bool { return b.Recs[i].Dst < b.Recs[j].Dst })
 	return b, nil
+}
+
+// loadSpilled externally sorts interval ivIdx's oversized log into
+// budget-sized runs and primes the first chunk. No records are combined
+// here — the Grouper applies the program's combiner exactly as on the
+// in-memory path, so results are identical.
+func loadSpilled(log *mlog.Log, iv csr.Interval, ivIdx int, budget int64) (*Batch, error) {
+	budgetRecs := int(budget / mlog.RecordBytes)
+	if budgetRecs < 1 {
+		budgetRecs = 1
+	}
+	runs := extsort.NewRuns(log.Device(), fmt.Sprintf("%s.%d.spill", log.Prefix(), ivIdx), nil)
+	buf := make([]extsort.Record, 0, budgetRecs)
+	var flushErr error
+	if err := log.Read(ivIdx, func(dst, src, data uint32) {
+		if flushErr != nil {
+			return
+		}
+		buf = append(buf, extsort.Record{Dst: dst, Src: src, Data: data})
+		if len(buf) >= budgetRecs {
+			flushErr = runs.Flush(buf)
+			buf = buf[:0]
+		}
+	}); err != nil {
+		runs.Remove()
+		return nil, err
+	}
+	if flushErr == nil {
+		flushErr = runs.Flush(buf)
+	}
+	if flushErr != nil {
+		runs.Remove()
+		return nil, flushErr
+	}
+
+	b := &Batch{
+		FirstIv: ivIdx, LastIv: ivIdx,
+		Lo: iv.Lo, Hi: iv.Hi,
+		Spilled: true,
+		spill: &spillState{
+			runs: runs, budgetRecs: budgetRecs,
+			ivHi: iv.Hi, nextLo: iv.Lo,
+			bytes: runs.BytesWritten(),
+		},
+	}
+	b.spill.m = runs.Merge()
+	r, ok, err := b.spill.m.Next()
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	b.spill.next, b.spill.have = r, ok
+	if err := b.fillChunk(); err != nil {
+		b.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// fillChunk replaces Recs with the next destination-aligned chunk. Chunks
+// grow to the record budget and then extend to the current destination's
+// last record, so no vertex's messages straddle two chunks (one very hot
+// destination may exceed the budget — correctness over strictness). The
+// chunk's [Lo, Hi) partitions the interval: the engine processes each
+// carry-only vertex exactly once, in the chunk covering its ID.
+func (b *Batch) fillChunk() error {
+	s := b.spill
+	b.Recs = b.Recs[:0]
+	b.Lo = s.nextLo
+	b.Hi = s.ivHi
+	if !s.have {
+		return nil
+	}
+	for {
+		b.Recs = append(b.Recs, Rec{Dst: s.next.Dst, Src: s.next.Src, Data: s.next.Data})
+		r, ok, err := s.m.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			s.have = false
+			return nil
+		}
+		prev := s.next
+		s.next = r
+		if len(b.Recs) >= s.budgetRecs && r.Dst != prev.Dst {
+			b.Hi = prev.Dst + 1
+			s.nextLo = prev.Dst + 1
+			return nil
+		}
+	}
+}
+
+// NextChunk advances a spilled batch to its next chunk, reporting whether
+// one was produced. In-memory batches (and exhausted spills) return false.
+func (b *Batch) NextChunk() (bool, error) {
+	if b.spill == nil || !b.spill.have {
+		return false, nil
+	}
+	if err := b.fillChunk(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// SpillBytes returns the record bytes externally sorted through the device
+// for this batch (0 for in-memory batches).
+func (b *Batch) SpillBytes() int64 {
+	if b.spill == nil {
+		return 0
+	}
+	return b.spill.bytes
+}
+
+// Close releases a spilled batch's merge cursor and deletes its on-device
+// run files. A no-op for in-memory batches; safe to call more than once.
+func (b *Batch) Close() {
+	if b.spill != nil {
+		b.spill.m.Close()
+		b.spill = nil
+	}
 }
 
 // ActiveVertices returns the distinct destinations in the batch, ascending

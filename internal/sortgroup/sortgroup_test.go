@@ -28,9 +28,13 @@ func TestLoadFusedSingleInterval(t *testing.T) {
 		l.Append(int(i/10), i, 99, i*2)
 	}
 	l.FlushAll()
-	b, err := LoadFused(l, ivs, 0, 1) // budget too small to fuse
+	// Budget fits exactly one interval's log: no room to fuse, no spill.
+	b, err := LoadFused(l, ivs, 0, 10*mlog.RecordBytes)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if b.Spilled {
+		t.Fatal("a log exactly at the budget must not spill")
 	}
 	if b.FirstIv != 0 || b.LastIv != 0 {
 		t.Fatalf("fused [%d,%d], want [0,0]", b.FirstIv, b.LastIv)

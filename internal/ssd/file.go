@@ -185,11 +185,22 @@ func (f *File) WritePage(idx int, data []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("%w: write page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, np)
 	}
-	err := f.writePageLocked(idx, data)
-	f.mu.Unlock()
-	if err != nil {
+	grow := 0
+	if idx == np {
+		grow = 1
+	}
+	if err := f.dev.reserveGrow(grow); err != nil {
+		f.mu.Unlock()
 		return err
 	}
+	err := f.writePageLocked(idx, data)
+	if err != nil {
+		unused := grow - (f.store.numPages() - np)
+		f.mu.Unlock()
+		f.dev.freePages(unused)
+		return err
+	}
+	f.mu.Unlock()
 	f.pagesWritten.Add(1)
 	f.dev.chargeWrite(1, 1)
 	if c := f.dev.cache; c != nil {
@@ -218,9 +229,16 @@ func (f *File) WritePageRange(start int, data []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("%w: write pages at %d of %q (%d pages)", ErrOutOfRange, start, f.name, np)
 	}
+	grow := start + n - np
+	if err := f.dev.reserveGrow(grow); err != nil {
+		f.mu.Unlock()
+		return err
+	}
 	for i := 0; i < n; i++ {
 		if err := f.writePageLocked(start+i, data[i*ps:(i+1)*ps]); err != nil {
+			unused := grow - (f.store.numPages() - np)
 			f.mu.Unlock()
+			f.dev.freePages(unused)
 			return err
 		}
 	}
@@ -245,14 +263,21 @@ func (f *File) AppendPage(data []byte) (int, error) {
 	}
 	f.mu.Lock()
 	idx := f.store.numPages()
+	if err := f.dev.reserveGrow(1); err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
 	err := f.writePageLocked(idx, data)
 	if err == nil {
 		f.size = int64(idx+1) * int64(f.dev.cfg.PageSize)
 	}
-	f.mu.Unlock()
 	if err != nil {
+		unused := 1 - (f.store.numPages() - idx)
+		f.mu.Unlock()
+		f.dev.freePages(unused)
 		return 0, err
 	}
+	f.mu.Unlock()
 	f.pagesWritten.Add(1)
 	f.dev.chargeWrite(1, 1)
 	if c := f.dev.cache; c != nil {
@@ -277,9 +302,15 @@ func (f *File) AppendPages(data []byte) error {
 	}
 	f.mu.Lock()
 	start := f.store.numPages()
+	if err := f.dev.reserveGrow(n); err != nil {
+		f.mu.Unlock()
+		return err
+	}
 	for i := 0; i < n; i++ {
 		if err := f.writePageLocked(start+i, data[i*ps:(i+1)*ps]); err != nil {
+			unused := n - (f.store.numPages() - start)
 			f.mu.Unlock()
+			f.dev.freePages(unused)
 			return err
 		}
 	}
@@ -299,9 +330,13 @@ func (f *File) AppendPages(data []byte) error {
 // recycle log files between supersteps.
 func (f *File) Truncate() error {
 	f.mu.Lock()
+	np := f.store.numPages()
 	err := f.store.truncate(0)
 	f.size = 0
 	f.mu.Unlock()
+	if err == nil {
+		f.dev.freePages(np)
+	}
 	if c := f.dev.cache; c != nil {
 		c.InvalidateFile(f.id)
 	}

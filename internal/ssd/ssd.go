@@ -51,6 +51,12 @@ type Config struct {
 	// Dir, if non-empty, backs files with real files in this directory.
 	// Otherwise files live in RAM.
 	Dir string
+	// Capacity, when positive, is the device byte quota: a write that
+	// would grow total allocated pages past Capacity runs the registered
+	// space reclaimers (see AddReclaimer), retries once, and then fails
+	// with ErrNoSpace. 0 models an infinite device (the pre-governance
+	// default).
+	Capacity int64
 	// Retry is the transient-fault retry policy applied on every page
 	// operation. The zero value selects the defaults (3 retries, 100µs
 	// base backoff); set Retry.MaxRetries to -1 to disable retrying.
@@ -150,6 +156,13 @@ type Stats struct {
 	CorruptPages        uint64
 	CorruptionsInjected uint64
 
+	// Capacity accounting: growth attempts denied for lack of space (real
+	// quota or injected), reclamation sweeps run in response, and the bytes
+	// those sweeps freed.
+	NoSpaceFaults  uint64
+	Reclaims       uint64
+	ReclaimedBytes uint64
+
 	ReadBatchPages  obsv.Hist // pages per read batch
 	WriteBatchPages obsv.Hist // pages per write batch
 	ReadImbalance   obsv.Hist // busiest-channel depth minus ceil(pages/channels), per read batch
@@ -185,6 +198,10 @@ func (s Stats) Sub(t Stats) Stats {
 
 		CorruptPages:        s.CorruptPages - t.CorruptPages,
 		CorruptionsInjected: s.CorruptionsInjected - t.CorruptionsInjected,
+
+		NoSpaceFaults:  s.NoSpaceFaults - t.NoSpaceFaults,
+		Reclaims:       s.Reclaims - t.Reclaims,
+		ReclaimedBytes: s.ReclaimedBytes - t.ReclaimedBytes,
 
 		ReadBatchPages:  s.ReadBatchPages.Sub(t.ReadBatchPages),
 		WriteBatchPages: s.WriteBatchPages.Sub(t.WriteBatchPages),
@@ -229,6 +246,25 @@ type Device struct {
 	corruptOnly  string
 	corruptTrack bool
 	corruptArmed atomic.Bool
+
+	// Capacity governance (see capacity.go): usedPages counts allocated
+	// pages across live files; spaceOps numbers every growth attempt since
+	// no-space injection was armed; noSpaceArmed caches "quota or
+	// injection on" so ungoverned writes pay one atomic load.
+	usedPages    int64
+	spaceOps     int64
+	noSpaceAt    map[int64]bool
+	noSpaceProb  float64
+	noSpaceRNG   uint64
+	noSpaceArmed atomic.Bool
+
+	reclaimMu     sync.Mutex
+	reclaimers    map[int]func()
+	nextReclaimID int
+
+	// runCtx, when set, aborts retry backoff on cancellation (see
+	// SetRunContext) so a deadline is not overshot by the retry budget.
+	runCtx atomic.Pointer[runCtxBox]
 }
 
 // PageCache is the buffer-pool interface the device consults on reads and
@@ -390,13 +426,13 @@ func (d *Device) opCheck() error {
 	pol := d.cfg.Retry
 	backoff := pol.BaseBackoff
 	for attempt := 1; attempt <= pol.MaxRetries; attempt++ {
+		// A canceled run context aborts the schedule instead of burning the
+		// remaining budget, so deadlines are not overshot by retries.
+		if cerr := d.runContextErr(); cerr != nil {
+			return fmt.Errorf("ssd: retry abandoned after %d attempts: %w", attempt, cerr)
+		}
 		// Jittered delay in [backoff/2, backoff), deterministic per device.
-		d.mu.Lock()
-		half := backoff / 2
-		delay := half + time.Duration(splitmix64(&d.retryRNG)%uint64(half+1))
-		d.stats.Retries++
-		d.stats.RetryBackoff += delay
-		d.mu.Unlock()
+		d.sleepRetry(backoff)
 
 		err = d.faultCheck()
 		if err == nil {
@@ -431,6 +467,7 @@ var ErrExist = errors.New("ssd: file already exists")
 func Open(cfg Config) (*Device, error) {
 	cfg = cfg.withDefaults()
 	d := &Device{cfg: cfg, files: make(map[string]*File), retryRNG: cfg.Retry.JitterSeed}
+	d.noSpaceArmed.Store(cfg.Capacity > 0)
 	if cfg.Dir != "" {
 		if err := d.adoptDir(); err != nil {
 			return nil, err
@@ -466,6 +503,7 @@ func (d *Device) adoptDir() error {
 		// Without external metadata the best logical-size guess is the
 		// allocated extent; csr.Open overrides it from its meta file.
 		f.size = int64(st.numPages()) * int64(d.cfg.PageSize)
+		d.usedPages += int64(st.numPages())
 		d.files[name] = f
 		return nil
 	})
@@ -540,20 +578,28 @@ func (d *Device) OpenOrCreate(name string) (*File, error) {
 	return d.Create(name)
 }
 
-// Remove deletes a file and releases its pages.
+// Remove deletes a file and releases its pages. The store is closed
+// outside the device lock (file locks are never acquired under it), so a
+// reclaimer invoked mid-write can remove stale files without deadlocking.
 func (d *Device) Remove(name string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	f, ok := d.files[name]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotExist, name)
 	}
 	delete(d.files, name)
 	d.stats.FilesRemoved++
+	d.mu.Unlock()
 	if d.cache != nil {
 		d.cache.InvalidateFile(f.id)
 	}
-	return f.store.close()
+	f.mu.Lock()
+	np := f.store.numPages()
+	err := f.store.close()
+	f.mu.Unlock()
+	d.freePages(np)
+	return err
 }
 
 // Exists reports whether a file with the given name exists.

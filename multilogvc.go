@@ -26,6 +26,7 @@
 package multilogvc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -102,6 +103,15 @@ var (
 	// checkpoint was committed first, so rerunning with Resume continues
 	// the computation.
 	ErrInterrupted = core.ErrInterrupted
+	// ErrNoSpace is returned when a write exceeded the device's disk
+	// quota (SystemOptions.DiskCapacity) and space reclamation could not
+	// free enough to retry — the run ends classified, never silently
+	// truncated.
+	ErrNoSpace = ssd.ErrNoSpace
+	// ErrDeadline is returned when RunOptions.Context expired on a
+	// deadline; on the MultiLogVC engine a boundary checkpoint was
+	// committed first, so rerunning with Resume continues the computation.
+	ErrDeadline = core.ErrDeadline
 )
 
 // ServeDebug starts an HTTP listener exposing live engine gauges at
@@ -134,6 +144,12 @@ type SystemOptions struct {
 	// to the virtual storage clock). 0 keeps the default of 3; negative
 	// disables retries.
 	MaxRetries int
+	// DiskCapacity caps the device's total byte footprint. Writes that
+	// would exceed it trigger the device's space reclaimers (consumed
+	// message-log intervals, stale checkpoint slots) and are retried once;
+	// if still over quota they fail with ErrNoSpace. 0 (the default)
+	// leaves the device unbounded.
+	DiskCapacity int64
 }
 
 // System owns a storage device and the graphs on it.
@@ -150,6 +166,7 @@ func NewSystem(opts SystemOptions) (*System, error) {
 		PageReadLatency:  opts.PageReadLatency,
 		PageWriteLatency: opts.PageWriteLatency,
 		Dir:              opts.Dir,
+		Capacity:         opts.DiskCapacity,
 		Retry:            ssd.RetryPolicy{MaxRetries: opts.MaxRetries},
 	})
 	if err != nil {
@@ -407,6 +424,17 @@ type RunOptions struct {
 	// run commits a checkpoint — even with CheckpointEvery 0 — and
 	// returns ErrInterrupted.
 	Interrupt <-chan struct{}
+	// Context, when non-nil, bounds the run: cancellation or a deadline
+	// stops it at the next superstep boundary. The MultiLogVC engine
+	// commits a checkpoint first and classifies deadline expiry as
+	// ErrDeadline (plain cancellation as ErrInterrupted); the baseline
+	// engines stop with the context's error wrapped. The device's
+	// transient-fault retry backoff also observes it.
+	Context context.Context
+	// SortBudget overrides the in-memory sort bound in bytes (MultiLogVC
+	// engine only); interval logs above it spill through the external
+	// sort-group. 0 derives it from the graph's MemoryBudget as usual.
+	SortBudget int64
 }
 
 // RunResult is a finished run: the report and final vertex values.
@@ -424,6 +452,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			Workers:       opts.Workers,
 			StopAfter:     opts.StopAfter,
 			Cache:         g.sys.cache,
+			Context:       opts.Context,
 		}
 		var eng *graphchi.Engine
 		if g.g.HasWeights() {
@@ -444,6 +473,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			Adapted:       opts.Engine == EngineGraFBoostAdapted,
 			StopAfter:     opts.StopAfter,
 			Cache:         g.sys.cache,
+			Context:       opts.Context,
 		})
 		res, err := eng.Run(prog)
 		if err != nil {
@@ -458,6 +488,7 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 		}
 		eng := core.New(g.g, core.Config{
 			MemoryBudget:    g.memBudget,
+			SortBudget:      opts.SortBudget,
 			MaxSupersteps:   opts.MaxSupersteps,
 			Workers:         opts.Workers,
 			StopAfter:       opts.StopAfter,
@@ -472,7 +503,11 @@ func (g *Graph) Run(prog Program, opts RunOptions) (*RunResult, error) {
 			Resume:          opts.Resume,
 			Interrupt:       opts.Interrupt,
 		})
-		res, err := eng.Run(prog)
+		ctx := opts.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		res, err := eng.RunCtx(ctx, prog)
 		if err != nil {
 			return nil, err
 		}
