@@ -312,7 +312,9 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	var ckptSeq uint64
 	startStep := 0
 	if cfg.Resume {
+		prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
 		st, err := ckpt.Load(dev, ckptPrefix)
+		dev.SetStage(prevS, prevIv)
 		switch {
 		case errors.Is(err, ckpt.ErrNoCheckpoint):
 			// Nothing to resume from: run from superstep 0.
@@ -426,7 +428,10 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	live.Runs.Add(1)
 
 	if rst != nil {
-		if err := restoreState(rst, carry, aux, curLog, elog, pred, report); err != nil {
+		prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
+		err := restoreState(rst, carry, aux, curLog, elog, pred, report)
+		dev.SetStage(prevS, prevIv)
+		if err != nil {
 			return nil, err
 		}
 		cumProcessed = rst.CumProcessed
@@ -471,6 +476,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		}
 		stepStart := time.Now()
 		devBefore := dev.Stats()
+		ivBefore := dev.IntervalIO()
 		var cacheBefore pagecache.Stats
 		if cache := cfg.Cache; cache != nil {
 			cacheBefore = cache.Stats()
@@ -484,10 +490,12 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		var pfEpoch uint64 // pins covering the batch about to be processed
 		for ivStart := 0; ivStart < len(ivs); {
 			loadSpan := tr.Begin("engine", "load+sort")
+			loadBefore := dev.Stats()
 			batch, err := sortgroup.Load(curLog, ivs, ivStart, sortOpts)
 			if err != nil {
 				return nil, err
 			}
+			loadSpan.Arg("pages_read", int64(dev.Stats().Sub(loadBefore).PagesRead))
 			loadSpan.Arg("first_iv", int64(batch.FirstIv))
 			loadSpan.Arg("last_iv", int64(batch.LastIv))
 			loadSpan.Arg("records", int64(len(batch.Recs)))
@@ -520,6 +528,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			// message-activated or carry-only — is processed exactly once.
 			procSpan := tr.Begin("engine", "process-batch")
 			procSpan.Arg("first_iv", int64(batch.FirstIv))
+			procBefore := dev.Stats()
 			for err == nil {
 				if err = e.processBatch(&batchRun{
 					prog: prog, combiner: combiner, aux: aux, isAux: isAux,
@@ -540,6 +549,9 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			if err != nil {
 				return nil, err
 			}
+			procDelta := dev.Stats().Sub(procBefore)
+			procSpan.Arg("pages_read", int64(procDelta.PagesRead))
+			procSpan.Arg("pages_written", int64(procDelta.PagesWritten))
 			procSpan.End()
 			// The batch is fully drained: its intervals are never re-read
 			// this generation, so the device may reclaim their log pages
@@ -592,7 +604,13 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		}
 
 		flushSpan := tr.Begin("engine", "flush-logs")
-		if err := nextLog.FlushAll(); err != nil {
+		// The boundary flush drains message-log pages the vertex stage
+		// produced; it belongs to the same traffic class as the in-batch
+		// Send evictions.
+		prevS, prevIv := dev.SetStage(obsv.StageVertex, -1)
+		err := nextLog.FlushAll()
+		dev.SetStage(prevS, prevIv)
+		if err != nil {
 			return nil, err
 		}
 		if elog != nil {
@@ -601,7 +619,10 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			ss.PredictedIneff = st.PredictedIneff
 			ss.CorrectPredicted = st.Correct
 			ss.UtilPagesTouched = st.PagesTouched
-			if err := elog.EndSuperstep(); err != nil {
+			prevS, prevIv := dev.SetStage(obsv.StageRelog, -1)
+			err := elog.EndSuperstep()
+			dev.SetStage(prevS, prevIv)
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -614,6 +635,29 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		flushSpan.End()
 
 		devDelta := dev.Stats().Sub(devBefore)
+		ss.Stages = metrics.StagesFromDevice(devDelta)
+		// Interval-level IO skew: how unevenly this superstep's tagged
+		// device traffic spread over the vertex intervals. The histogram
+		// keeps the shape; IOSkew (busiest/mean) flags stragglers that
+		// message-count skew alone can miss (a hot interval whose log is
+		// small but whose spill or CSR traffic is not).
+		var maxIvP, sumIvP uint64
+		var nIv int
+		for iv, p := range dev.IntervalIO() {
+			d := p - ivBefore[iv]
+			if d == 0 {
+				continue
+			}
+			ss.IntervalPages.Observe(d)
+			sumIvP += d
+			nIv++
+			if d > maxIvP {
+				maxIvP = d
+			}
+		}
+		if sumIvP > 0 {
+			ss.IOSkew = float64(maxIvP) * float64(nIv) / float64(sumIvP)
+		}
 		ss.PagesRead = devDelta.PagesRead
 		ss.PagesWritten = devDelta.PagesWritten
 		ss.StorageTime = devDelta.StorageTime()
@@ -655,6 +699,10 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			ckSpan := tr.Begin("engine", "checkpoint")
 			ckSpan.Arg("step", int64(step+1))
 			ckBefore := dev.Stats()
+			var ckCacheBefore pagecache.Stats
+			if cache := cfg.Cache; cache != nil {
+				ckCacheBefore = cache.Stats()
+			}
 			rcl.setCkptBusy(true)
 			err := e.writeCheckpoint(ckptPrefix, ckptSeq, step+1, cumProcessed,
 				values, carry, aux, isAux, curLog, elog, pred, report, &ss)
@@ -665,6 +713,16 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			rcl.noteCheckpoint(ckptSeq)
 			ckptSeq++
 			ckDelta := dev.Stats().Sub(ckBefore)
+			ss.Stages = metrics.MergeStages(ss.Stages, metrics.StagesFromDevice(ckDelta))
+			if cache := cfg.Cache; cache != nil {
+				// The snapshot reads go through the cache too; fold their
+				// hit/miss delta in so the stage rows' cache counters keep
+				// summing to the superstep totals.
+				ckCd := cache.Stats().Sub(ckCacheBefore)
+				ss.CacheHits += ckCd.Hits
+				ss.CacheMisses += ckCd.Misses
+				ss.CacheEvictions += ckCd.Evictions
+			}
 			ss.Checkpoints = 1
 			ss.CheckpointPages = ckDelta.PagesRead + ckDelta.PagesWritten
 			ss.CheckpointTime = ckDelta.StorageTime()
@@ -722,6 +780,13 @@ func (e *Engine) writeCheckpoint(prefix string, seq uint64, step int, cumProcess
 	values *csr.Values, carry *bitset.Set, aux *csr.Aux, isAux bool,
 	curLog *mlog.Log, elog *edgelog.EdgeLog, pred *edgelog.Predictor,
 	report *metrics.Report, ss *metrics.SuperstepStats) error {
+
+	// All snapshot IO — the state reads below and ckpt.Save's slot writes —
+	// is checkpoint overhead, tagged here so every call site (periodic,
+	// interrupt, deadline) attributes identically.
+	dev := e.g.Device()
+	prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
+	defer dev.SetStage(prevS, prevIv)
 
 	st := &ckpt.State{
 		App:          report.App,
@@ -935,6 +1000,14 @@ type adjEntry struct {
 
 func (e *Engine) processBatch(br *batchRun) error {
 	batch := br.batch
+	// Everything this batch touches — value pages, adjacency, aux, and the
+	// message-log evictions its worker Sends trigger — is vertex-processing
+	// IO on the batch's interval range. Workers inherit the tag: they only
+	// issue device IO through Send, whose eviction path runs while this
+	// phase owns the device tag.
+	dev := e.g.Device()
+	prevS, prevIv := dev.SetStage(obsv.StageVertex, batch.FirstIv)
+	defer dev.SetStage(prevS, prevIv)
 	// Active set = message destinations ∪ carried-live vertices in range.
 	verts := batch.ActiveVertices()
 	br.carry.RangeInRange(int(batch.Lo), int(batch.Hi), func(i int) bool {
@@ -1174,6 +1247,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 	// were inefficient, within the edge-log buffer budget.
 	if br.elog != nil {
 		relogSpan := tr.Begin("engine", "edgelog-relog")
+		dev.SetStage(obsv.StageRelog, batch.FirstIv)
 		for _, v := range verts {
 			a := adj[v]
 			if a == nil || a.fromElog || len(a.nbrs) == 0 || !a.pageIneff {
@@ -1192,6 +1266,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 		}
 		relogSpan.Arg("logged_bytes", br.elog.LoggedBytes())
 		relogSpan.End()
+		dev.SetStage(obsv.StageVertex, batch.FirstIv)
 	}
 
 	// Write dirty value pages and aux pages back.
@@ -1332,6 +1407,14 @@ func publishLive(live *obsv.LiveVars, ss *metrics.SuperstepStats) {
 		live.NoSpaceFaults.Add(int64(ss.NoSpaceFaults))
 		live.Reclaims.Add(int64(ss.Reclaims))
 		live.ReclaimedBytes.Add(int64(ss.ReclaimedBytes))
+	}
+	for _, st := range ss.Stages {
+		if st.PagesRead > 0 {
+			live.StagePagesRead.Add(st.Stage, int64(st.PagesRead))
+		}
+		if st.PagesWritten > 0 {
+			live.StagePagesWritten.Add(st.Stage, int64(st.PagesWritten))
+		}
 	}
 }
 

@@ -312,6 +312,14 @@ func (g *Graph) loadEdges(side uint8, rowF, colF, valF *ssd.File, iv int, verts 
 // offsets, reading only the covering row-pointer pages. The result is laid
 // out as [start0, end0, start1, end1, ...].
 func (g *Graph) readRowEntries(rowF *ssd.File, interval Interval, verts []uint32) ([]uint64, int, error) {
+	return g.readRowEntriesWith(rowF, interval, verts, rowF.ReadPages)
+}
+
+// readRowEntriesWith is readRowEntries with the page read indirected, so
+// the prefetcher's planning path can issue it stage-tagged (its goroutine
+// runs concurrently with the engine's ambient device tag).
+func (g *Graph) readRowEntriesWith(rowF *ssd.File, interval Interval, verts []uint32,
+	read func(pages []int, dst []byte) error) ([]uint64, int, error) {
 	ps := g.dev.PageSize()
 	pageSet := make(map[int]bool)
 	for _, v := range verts {
@@ -329,7 +337,7 @@ func (g *Graph) readRowEntries(rowF *ssd.File, interval Interval, verts []uint32
 	}
 	sort.Ints(pages)
 	buf := make([]byte, len(pages)*ps)
-	if err := rowF.ReadPages(pages, buf); err != nil {
+	if err := read(pages, buf); err != nil {
 		return nil, 0, err
 	}
 	pageAt := make(map[int][]byte, len(pages))

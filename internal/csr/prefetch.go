@@ -3,6 +3,7 @@ package csr
 import (
 	"sort"
 
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/ssd"
 )
 
@@ -78,7 +79,13 @@ func (g *Graph) OutColPages(iv int, verts []uint32) (*ssd.File, []int, error) {
 	if len(inRange) == 0 {
 		return nil, nil, nil
 	}
-	rows, _, err := g.readRowEntries(g.outRow[iv], interval, inRange)
+	// Runs on the prefetch worker, concurrent with the engine's tagged
+	// phase — charge the row-entry reads to the prefetch stage explicitly.
+	rowF := g.outRow[iv]
+	rows, _, err := g.readRowEntriesWith(rowF, interval, inRange,
+		func(pages []int, dst []byte) error {
+			return rowF.ReadPagesTagged(pages, dst, obsv.StagePrefetch)
+		})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -27,6 +27,7 @@ import (
 	"multilogvc/internal/csr"
 	"multilogvc/internal/extsort"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/pagecache"
 	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
@@ -122,10 +123,12 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		defer dev.SetRunContext(nil)
 	}
 
+	buildS, buildIv := dev.SetStage(obsv.StageBuild, -1)
 	values, err := csr.CreateValuesFunc(dev, name+".gb.values", n, func(v uint32) uint32 {
 		return prog.InitValue(v, n)
 	})
 	if err != nil {
+		dev.SetStage(buildS, buildIv)
 		return nil, err
 	}
 	var aux *csr.Aux
@@ -133,9 +136,11 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	if isAux {
 		aux, err = csr.CreateAux(g, prog.Name()+".gb", auxUser.AuxInit(n))
 		if err != nil {
+			dev.SetStage(buildS, buildIv)
 			return nil, err
 		}
 	}
+	dev.SetStage(buildS, buildIv)
 
 	logF, err := dev.OpenOrCreate(name + ".gb.log")
 	if err != nil {
@@ -181,7 +186,11 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 
 		// Externally sort the single log into memory-bounded groups.
 		// The sorted stream arrives in destination order; group it.
+		// GraFBoost keeps one global log, so the sort phase carries no
+		// interval attribution.
+		prevS, prevIv := dev.SetStage(obsv.StageSortGroup, -1)
 		if err := logW.Close(); err != nil {
+			dev.SetStage(prevS, prevIv)
 			return nil, err
 		}
 		var sorted []extsort.Record
@@ -207,6 +216,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 				sorted = append(sorted, r)
 				return nil
 			})
+		dev.SetStage(prevS, prevIv)
 		if err != nil {
 			return nil, err
 		}
@@ -246,6 +256,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		}
 
 		devDelta := dev.Stats().Sub(devBefore)
+		ss.Stages = metrics.StagesFromDevice(devDelta)
 		ss.PagesRead = devDelta.PagesRead
 		ss.PagesWritten = devDelta.PagesWritten
 		ss.StorageTime = devDelta.StorageTime()
@@ -302,6 +313,10 @@ type ivRun struct {
 func (e *Engine) processInterval(ir *ivRun) error {
 	g := e.g
 	interval := g.Intervals()[ir.iv]
+	// The whole-graph streaming scan, value loads, and message-log appends
+	// are vertex-processing IO on this interval.
+	prevS, prevIv := g.Device().SetStage(obsv.StageVertex, ir.iv)
+	defer g.Device().SetStage(prevS, prevIv)
 
 	// Stream the interval's full adjacency (whole-graph scan).
 	allVerts := make([]uint32, 0, interval.Len())

@@ -27,6 +27,7 @@ import (
 	"multilogvc/internal/csr"
 	"multilogvc/internal/graphio"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/pagecache"
 	"multilogvc/internal/shard"
 	"multilogvc/internal/ssd"
@@ -133,8 +134,10 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	// Shards are program state (edge values); build fresh per run. Setup
 	// IO is excluded from superstep accounting, mirroring how the paper
 	// reports per-run execution times on preformatted graphs.
+	prevS, prevIv := e.dev.SetStage(obsv.StageBuild, -1)
 	store, err := shard.BuildWeighted(e.dev, e.name+".gc", e.edges, e.ivs, initVal)
 	if err != nil {
+		e.dev.SetStage(prevS, prevIv)
 		return nil, err
 	}
 	defer store.Remove()
@@ -142,6 +145,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 	values, err := csr.CreateValuesFunc(e.dev, e.name+".gc.values", e.n, func(v uint32) uint32 {
 		return prog.InitValue(v, e.n)
 	})
+	e.dev.SetStage(prevS, prevIv)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +212,7 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 		active = nextActive
 
 		devDelta := e.dev.Stats().Sub(devBefore)
+		ss.Stages = metrics.StagesFromDevice(devDelta)
 		ss.PagesRead = devDelta.PagesRead
 		ss.PagesWritten = devDelta.PagesWritten
 		ss.StorageTime = devDelta.StorageTime()
@@ -264,6 +269,10 @@ type intervalRun struct {
 func (e *Engine) processInterval(ir *intervalRun) error {
 	iv := e.ivs[ir.k]
 	p := ir.p
+	// All shard and value IO for this interval is vertex-processing work in
+	// GraphChi's PSW model.
+	prevS, prevIv := e.dev.SetStage(obsv.StageVertex, ir.k)
+	defer e.dev.SetStage(prevS, prevIv)
 
 	// Load shard k in full (the whole-shard cost the paper measures).
 	recs, err := ir.store.LoadShard(ir.k)

@@ -1,0 +1,345 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/metrics"
+	"multilogvc/internal/vc"
+)
+
+// Continuous-benchmarking snapshots: a fixed suite of engine runs distilled
+// into a schema-versioned JSON file (BENCH_<size>.json). CI regenerates a
+// fresh snapshot on every push and diffs it against the committed baseline:
+// deterministic counter increases (page counts, supersteps, spills) fail the
+// build, wall-clock drift only warns — the virtual storage clock makes page
+// and device-time accounting reproducible in a way host timing never is.
+
+// SnapshotSchemaVersion identifies the snapshot layout. Bump it when a
+// field changes meaning; Compare refuses to diff across versions.
+const SnapshotSchemaVersion = 1
+
+// StageSnap is one stage's row in a snapshot entry, mirrored from
+// metrics.StageIO with a plain int64 time for stable JSON.
+type StageSnap struct {
+	Stage        string `json:"stage"`
+	PagesRead    uint64 `json:"pages_read"`
+	PagesWritten uint64 `json:"pages_written"`
+	TimeNS       int64  `json:"time_ns"`
+}
+
+// SnapEntry is one benchmark run's distilled result. Entries are keyed by
+// (Engine, App, Graph, CacheMB). Deterministic marks entries whose page
+// and superstep counters must be bit-identical between runs of the same
+// binary — uncached runs qualify (fixed-size log records make page counts
+// a pure function of the message flow); cached runs do not (prefetch
+// timing shifts hit/miss splits).
+type SnapEntry struct {
+	Engine        string      `json:"engine"`
+	App           string      `json:"app"`
+	Graph         string      `json:"graph"`
+	CacheMB       int         `json:"cache_mb"`
+	Deterministic bool        `json:"deterministic"`
+	Supersteps    int         `json:"supersteps"`
+	PagesRead     uint64      `json:"pages_read"`
+	PagesWritten  uint64      `json:"pages_written"`
+	StorageNS     int64       `json:"storage_ns"`
+	ComputeNS     int64       `json:"compute_ns"`
+	WallNS        int64       `json:"wall_ns"`
+	CacheHitRate  float64     `json:"cache_hit_rate"`
+	Spills        uint64      `json:"spills"`
+	Retries       uint64      `json:"retries"`
+	Stages        []StageSnap `json:"stages,omitempty"`
+}
+
+// Key identifies the entry across snapshots.
+func (e SnapEntry) Key() string {
+	return fmt.Sprintf("%s/%s/%s/cache%d", e.Engine, e.App, e.Graph, e.CacheMB)
+}
+
+// Snapshot is the whole benchmark state of one commit at one size.
+type Snapshot struct {
+	SchemaVersion int         `json:"schema_version"`
+	Size          string      `json:"size"`
+	Entries       []SnapEntry `json:"entries"`
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSnapshot reads a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("harness: parse snapshot %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func entryFromReport(r *metrics.Report, cacheMB int, deterministic bool) SnapEntry {
+	e := SnapEntry{
+		Engine:        r.Engine,
+		App:           r.App,
+		Graph:         r.Graph,
+		CacheMB:       cacheMB,
+		Deterministic: deterministic,
+		Supersteps:    len(r.Supersteps),
+		PagesRead:     r.PagesRead,
+		PagesWritten:  r.PagesWritten,
+		StorageNS:     int64(r.StorageTime),
+		ComputeNS:     int64(r.ComputeTime),
+		WallNS:        int64(r.WallTime),
+		CacheHitRate:  r.CacheHitRate(),
+		Spills:        r.Spills,
+		Retries:       r.Retries,
+	}
+	for _, st := range r.Stages {
+		e.Stages = append(e.Stages, StageSnap{
+			Stage:        st.Stage,
+			PagesRead:    st.PagesRead,
+			PagesWritten: st.PagesWritten,
+			TimeNS:       int64(st.Time),
+		})
+	}
+	return e
+}
+
+func sizeName(size Size) string {
+	switch size {
+	case Tiny:
+		return "tiny"
+	case Medium:
+		return "medium"
+	default:
+		return "small"
+	}
+}
+
+// TakeSnapshot runs the benchmark suite at the given size and distills it
+// into a Snapshot. The suite covers all three engines on the paper's two
+// workhorse apps, a sparser-graph run, and one cached MultiLogVC run
+// (nondeterministic, tracked warn-only).
+func TakeSnapshot(size Size) (*Snapshot, error) {
+	cf, err := CFMini(size)
+	if err != nil {
+		return nil, err
+	}
+	yws, err := YWSMini(size)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{SchemaVersion: SnapshotSchemaVersion, Size: sizeName(size)}
+	opts := RunOpts{MaxSupersteps: MaxSupersteps}
+
+	type runSpec struct {
+		ds      Dataset
+		prog    func() vc.Program
+		run     func(*Env, vc.Program, RunOpts) (*metrics.Report, []uint32, error)
+		cacheMB int
+	}
+	specs := []runSpec{
+		{cf, func() vc.Program { return &apps.PageRank{} }, RunMLVC, 0},
+		{cf, func() vc.Program { return &apps.BFS{Source: 0} }, RunMLVC, 0},
+		{yws, func() vc.Program { return &apps.CDLP{} }, RunMLVC, 0},
+		{cf, func() vc.Program { return &apps.PageRank{} }, RunGraphChi, 0},
+		{cf, func() vc.Program { return &apps.PageRank{} }, RunGraFBoost, 0},
+		{cf, func() vc.Program { return &apps.PageRank{} }, RunMLVC, 8},
+	}
+	for _, sp := range specs {
+		env, err := Prepare(sp.ds, EnvOptions{CacheMB: cacheOpt(sp.cacheMB)})
+		if err != nil {
+			return nil, err
+		}
+		rep, _, err := sp.run(env, sp.prog(), opts)
+		if err != nil {
+			return nil, err
+		}
+		snap.Entries = append(snap.Entries, entryFromReport(rep, sp.cacheMB, sp.cacheMB == 0))
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool {
+		return snap.Entries[i].Key() < snap.Entries[j].Key()
+	})
+	return snap, nil
+}
+
+// cacheOpt maps a snapshot cache size to EnvOptions.CacheMB semantics,
+// where 0 falls through to the process default and < 0 forces uncached.
+func cacheOpt(mb int) int {
+	if mb == 0 {
+		return -1
+	}
+	return mb
+}
+
+// DiffOptions tunes Compare.
+type DiffOptions struct {
+	// WallTolPct is the warn threshold on wall-time drift in percent
+	// (either direction). <= 0 defaults to 50.
+	WallTolPct float64
+	// PageTolPct is the warn threshold on page-count drift of
+	// nondeterministic (cached) entries. <= 0 defaults to 10.
+	PageTolPct float64
+	// MinPages is the absolute floor below which nondeterministic
+	// page-count drift is ignored: a prefetcher warming 12 pages one run
+	// and 0 the next is scheduling noise, not a trend, and percent
+	// thresholds explode on small denominators. <= 0 defaults to 64.
+	MinPages uint64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.WallTolPct <= 0 {
+		o.WallTolPct = 50
+	}
+	if o.PageTolPct <= 0 {
+		o.PageTolPct = 10
+	}
+	if o.MinPages <= 0 {
+		o.MinPages = 64
+	}
+	return o
+}
+
+// DiffResult is the outcome of a baseline comparison. Regressions fail
+// the CI gate; warnings are informational (wall drift, stale-baseline
+// improvements, nondeterministic page drift).
+type DiffResult struct {
+	Regressions []string
+	Warnings    []string
+}
+
+// OK reports whether the gate passes.
+func (d *DiffResult) OK() bool { return len(d.Regressions) == 0 }
+
+func pctDrift(base, fresh int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(fresh-base) / float64(base)
+}
+
+// Compare diffs a fresh snapshot against the committed baseline. On
+// deterministic entries any page-count, superstep, spill, or retry
+// increase — total or per-stage — is a regression; decreases warn that
+// the baseline is stale. Virtual device time on deterministic entries
+// warns on drift (it folds in batch shapes that worker scheduling can
+// perturb). Wall time always warns only.
+func Compare(base, fresh *Snapshot, opts DiffOptions) *DiffResult {
+	opts = opts.withDefaults()
+	d := &DiffResult{}
+	if base.SchemaVersion != fresh.SchemaVersion {
+		d.Regressions = append(d.Regressions, fmt.Sprintf(
+			"schema version mismatch: baseline v%d vs fresh v%d — regenerate the baseline",
+			base.SchemaVersion, fresh.SchemaVersion))
+		return d
+	}
+	if base.Size != fresh.Size {
+		d.Regressions = append(d.Regressions, fmt.Sprintf(
+			"size mismatch: baseline %q vs fresh %q", base.Size, fresh.Size))
+		return d
+	}
+	freshByKey := make(map[string]SnapEntry, len(fresh.Entries))
+	for _, e := range fresh.Entries {
+		freshByKey[e.Key()] = e
+	}
+	baseKeys := make(map[string]bool, len(base.Entries))
+	for _, b := range base.Entries {
+		baseKeys[b.Key()] = true
+		f, ok := freshByKey[b.Key()]
+		if !ok {
+			d.Regressions = append(d.Regressions, fmt.Sprintf("%s: missing from fresh snapshot", b.Key()))
+			continue
+		}
+		compareEntry(d, b, f, opts)
+	}
+	for _, f := range fresh.Entries {
+		if !baseKeys[f.Key()] {
+			d.Warnings = append(d.Warnings, fmt.Sprintf(
+				"%s: new entry not in baseline — commit a regenerated baseline to track it", f.Key()))
+		}
+	}
+	return d
+}
+
+func compareEntry(d *DiffResult, b, f SnapEntry, opts DiffOptions) {
+	key := b.Key()
+	regress := func(format string, args ...any) {
+		d.Regressions = append(d.Regressions, key+": "+fmt.Sprintf(format, args...))
+	}
+	warn := func(format string, args ...any) {
+		d.Warnings = append(d.Warnings, key+": "+fmt.Sprintf(format, args...))
+	}
+	counter := func(name string, base, fresh uint64) {
+		switch {
+		case fresh == base:
+		case !b.Deterministic:
+			if base < opts.MinPages && fresh < opts.MinPages {
+				return
+			}
+			if drift := pctDrift(int64(base), int64(fresh)); drift > opts.PageTolPct || drift < -opts.PageTolPct {
+				warn("%s drifted %+.1f%% (%d -> %d, nondeterministic entry)", name, drift, base, fresh)
+			}
+		case fresh > base:
+			regress("%s increased %d -> %d (+%.1f%%)", name, base, fresh, pctDrift(int64(base), int64(fresh)))
+		default:
+			warn("%s decreased %d -> %d — baseline is stale, consider regenerating", name, base, fresh)
+		}
+	}
+	counter("pages_read", b.PagesRead, f.PagesRead)
+	counter("pages_written", b.PagesWritten, f.PagesWritten)
+	counter("spills", b.Spills, f.Spills)
+	counter("retries", b.Retries, f.Retries)
+	if b.Deterministic && f.Supersteps != b.Supersteps {
+		regress("superstep count changed %d -> %d", b.Supersteps, f.Supersteps)
+	}
+
+	// Per-stage page counts: an increase in any stage is a regression even
+	// when the totals balance out — attribution moving between stages is a
+	// behavior change the baseline should record deliberately.
+	baseStages := make(map[string]StageSnap, len(b.Stages))
+	for _, st := range b.Stages {
+		baseStages[st.Stage] = st
+	}
+	for _, fs := range f.Stages {
+		bs := baseStages[fs.Stage]
+		counter("stage["+fs.Stage+"].pages_read", bs.PagesRead, fs.PagesRead)
+		counter("stage["+fs.Stage+"].pages_written", bs.PagesWritten, fs.PagesWritten)
+	}
+	for _, bs := range b.Stages {
+		found := false
+		for _, fs := range f.Stages {
+			if fs.Stage == bs.Stage {
+				found = true
+				break
+			}
+		}
+		if !found && (bs.PagesRead > 0 || bs.PagesWritten > 0) {
+			counter("stage["+bs.Stage+"].pages_read", bs.PagesRead, 0)
+			counter("stage["+bs.Stage+"].pages_written", bs.PagesWritten, 0)
+		}
+	}
+
+	// Virtual device time: reproducible in principle, but batch shapes can
+	// shift with worker scheduling — warn-level until proven stable.
+	if drift := pctDrift(b.StorageNS, f.StorageNS); drift > opts.PageTolPct || drift < -opts.PageTolPct {
+		warn("storage time drifted %+.1f%% (%s -> %s)", drift,
+			time.Duration(b.StorageNS), time.Duration(f.StorageNS))
+	}
+	if drift := pctDrift(b.WallNS, f.WallNS); drift > opts.WallTolPct || drift < -opts.WallTolPct {
+		warn("wall time drifted %+.1f%% (%s -> %s)", drift,
+			time.Duration(b.WallNS), time.Duration(f.WallNS))
+	}
+}

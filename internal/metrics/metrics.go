@@ -89,6 +89,21 @@ type SuperstepStats struct {
 	// partition by interval leave it 0.
 	MsgSkew float64 `json:"msg_skew,omitempty"`
 
+	// Stages attributes the superstep's device traffic to the pipeline
+	// stage that issued it (see obsv.Stage). Rows are in canonical stage
+	// order, all-zero stages omitted; their page counts sum exactly to
+	// PagesRead/PagesWritten and their times to StorageTime. Empty for
+	// runs predating stage tagging.
+	Stages []StageIO `json:"stages,omitempty"`
+	// IOSkew is the per-interval device-IO imbalance of the superstep:
+	// the busiest interval's pages moved over the mean across intervals
+	// that moved pages (1.0 = balanced; 0 when no interval-tagged IO
+	// happened). This is the straggler signal parallel supersteps must
+	// level out, complementing the message-volume view of MsgSkew.
+	IOSkew float64 `json:"io_skew,omitempty"`
+	// IntervalPages is the distribution of pages moved per interval.
+	IntervalPages obsv.Hist `json:"interval_pages"`
+
 	// Device-level distributions for the superstep (deltas of the
 	// device's power-of-two histograms; see ssd.Stats).
 	ReadBatchPages  obsv.Hist `json:"read_batch_pages"`
@@ -162,6 +177,11 @@ type Report struct {
 	Reclaims       uint64
 	ReclaimedBytes uint64
 
+	// Stages is the run-wide per-stage IO breakdown, accumulated from the
+	// supersteps by Finish (canonical stage order; empty for runs without
+	// stage tagging).
+	Stages []StageIO
+
 	// Resumed records that the run restarted from a checkpoint instead of
 	// superstep 0; ResumeStep is the first superstep executed after
 	// restore. Supersteps before it come from the checkpoint.
@@ -196,6 +216,7 @@ func (r *Report) Finish() {
 	r.Checkpoints, r.CheckpointPages, r.CheckpointTime = 0, 0, 0
 	r.Spills, r.SpillBytes = 0, 0
 	r.NoSpaceFaults, r.Reclaims, r.ReclaimedBytes = 0, 0, 0
+	r.Stages = nil
 	for _, s := range r.Supersteps {
 		r.PagesRead += s.PagesRead
 		r.PagesWritten += s.PagesWritten
@@ -221,6 +242,7 @@ func (r *Report) Finish() {
 		r.NoSpaceFaults += s.NoSpaceFaults
 		r.Reclaims += s.Reclaims
 		r.ReclaimedBytes += s.ReclaimedBytes
+		r.Stages = MergeStages(r.Stages, s.Stages)
 	}
 }
 
@@ -352,6 +374,8 @@ type reportJSON struct {
 	Reclaims       uint64 `json:"reclaims,omitempty"`
 	ReclaimedBytes uint64 `json:"reclaimed_bytes,omitempty"`
 
+	Stages []StageIO `json:"stages,omitempty"`
+
 	Supersteps []SuperstepStats `json:"supersteps"`
 }
 
@@ -404,6 +428,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Reclaims:       r.Reclaims,
 		ReclaimedBytes: r.ReclaimedBytes,
 
+		Stages: r.Stages,
+
 		Supersteps: r.Supersteps,
 	})
 }
@@ -451,6 +477,8 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		NoSpaceFaults:  in.NoSpaceFaults,
 		Reclaims:       in.Reclaims,
 		ReclaimedBytes: in.ReclaimedBytes,
+
+		Stages: in.Stages,
 
 		Supersteps: in.Supersteps,
 	}

@@ -50,6 +50,13 @@ type LiveVars struct {
 	NoSpaceFaults  *expvar.Int // writes that hit the disk quota (or injected no-space)
 	Reclaims       *expvar.Int // space-reclamation sweeps run
 	ReclaimedBytes *expvar.Int // bytes freed by those sweeps
+
+	// Per-stage IO maps, keyed by the stable obsv.Stage names: cumulative
+	// device pages each pipeline stage read and wrote across runs in the
+	// process. The OpenMetrics handler exports them as labeled samples
+	// (mlvc_stage_pages_read{stage="vertex"}).
+	StagePagesRead    *expvar.Map
+	StagePagesWritten *expvar.Map
 }
 
 var (
@@ -88,18 +95,23 @@ func Live() *LiveVars {
 			NoSpaceFaults:  expvar.NewInt("mlvc.no_space_faults"),
 			Reclaims:       expvar.NewInt("mlvc.reclaims"),
 			ReclaimedBytes: expvar.NewInt("mlvc.reclaimed_bytes"),
+
+			StagePagesRead:    expvar.NewMap("mlvc.stage_pages_read"),
+			StagePagesWritten: expvar.NewMap("mlvc.stage_pages_written"),
 		}
 	})
 	return liveVars
 }
 
-// Serve starts an HTTP listener exposing expvar counters at /debug/vars
-// and the pprof profile family at /debug/pprof/. It returns the bound
-// address (useful with ":0") and a shutdown func. The server runs until
-// the process exits or the shutdown func is called.
+// Serve starts an HTTP listener exposing expvar counters at /debug/vars,
+// a Prometheus text exposition of the same counters at /metrics, and the
+// pprof profile family at /debug/pprof/. It returns the bound address
+// (useful with ":0") and a shutdown func. The server runs until the
+// process exits or the shutdown func is called.
 func Serve(addr string) (string, func() error, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

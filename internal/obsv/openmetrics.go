@@ -1,0 +1,148 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus/OpenMetrics text exposition over the process's "mlvc."
+// expvar gauges. The same counters back both /debug/vars (raw expvar
+// JSON) and /metrics (this exposition), so a scraper and a human poking
+// the debug endpoint always agree.
+//
+// Family names translate by replacing dots with underscores
+// (mlvc.pages_read -> mlvc_pages_read). expvar.Map vars become labeled
+// samples: mlvc.stage_pages_read{vertex: 12} exports as
+// mlvc_stage_pages_read{stage="vertex"} 12.
+
+// metricsContentType is the Prometheus text exposition format version
+// this package writes.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// metricMeta documents one exported family: HELP text, TYPE, and — for
+// expvar.Map families — the label name its keys populate.
+type metricMeta struct {
+	help  string
+	typ   string // "counter" or "gauge"
+	label string // label name for map families; "" for scalars
+}
+
+var varMeta = map[string]metricMeta{
+	"mlvc.superstep":            {"Current superstep of the latest engine run", "gauge", ""},
+	"mlvc.active_vertices":      {"Vertices processed in the latest superstep", "gauge", ""},
+	"mlvc.pages_read":           {"Cumulative device pages read by engine runs", "counter", ""},
+	"mlvc.pages_written":        {"Cumulative device pages written by engine runs", "counter", ""},
+	"mlvc.msgs_sent":            {"Cumulative messages sent", "counter", ""},
+	"mlvc.edgelog_hit_rate":     {"Share of adjacency pages served from the edge log", "gauge", ""},
+	"mlvc.msg_skew":             {"Per-interval message skew (max/mean) of the latest superstep", "gauge", ""},
+	"mlvc.runs":                 {"Engine runs started in this process", "counter", ""},
+	"mlvc.cache_hit_rate":       {"Page-cache hit rate of the latest superstep", "gauge", ""},
+	"mlvc.cache_resident_pages": {"Pages currently resident in the page cache", "gauge", ""},
+	"mlvc.prefetch_accuracy":    {"Prefetch accuracy of the latest superstep", "gauge", ""},
+	"mlvc.transient_faults":     {"Transient device faults absorbed by retry", "counter", ""},
+	"mlvc.retries":              {"Retry attempts spent absorbing transient faults", "counter", ""},
+	"mlvc.checkpoints":          {"Checkpoints committed", "counter", ""},
+	"mlvc.resumes":              {"Runs resumed from a checkpoint", "counter", ""},
+	"mlvc.corrupt_pages":        {"Pages that failed checksum verification", "counter", ""},
+	"mlvc.elog_heals":           {"Edge-log generations healed from the CSR", "counter", ""},
+	"mlvc.rollbacks":            {"Runs rolled back to a checkpoint on corruption", "counter", ""},
+	"mlvc.spills":               {"Interval logs spilled through the external sort-group", "counter", ""},
+	"mlvc.spill_bytes":          {"Record bytes spilled to the device", "counter", ""},
+	"mlvc.no_space_faults":      {"Writes that hit the disk quota", "counter", ""},
+	"mlvc.reclaims":             {"Space-reclamation sweeps run", "counter", ""},
+	"mlvc.reclaimed_bytes":      {"Bytes freed by reclamation sweeps", "counter", ""},
+	"mlvc.stage_pages_read":     {"Cumulative device pages read, by pipeline stage", "counter", "stage"},
+	"mlvc.stage_pages_written":  {"Cumulative device pages written, by pipeline stage", "counter", "stage"},
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func promNum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteOpenMetrics writes every "mlvc."-prefixed expvar in Prometheus
+// text exposition format: families sorted by name, HELP/TYPE preceding
+// samples, map keys sorted within a family, and a trailing # EOF marker.
+func WriteOpenMetrics(w io.Writer) error {
+	var vars []expvar.KeyValue
+	expvar.Do(func(kv expvar.KeyValue) {
+		if strings.HasPrefix(kv.Key, "mlvc.") {
+			vars = append(vars, kv)
+		}
+	})
+	return writeOpenMetricsVars(w, vars)
+}
+
+// writeOpenMetricsVars is WriteOpenMetrics over an explicit var list
+// (unit-testable without touching the process-global expvar registry).
+func writeOpenMetricsVars(w io.Writer, vars []expvar.KeyValue) error {
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Key < vars[j].Key })
+	for _, kv := range vars {
+		name := strings.ReplaceAll(kv.Key, ".", "_")
+		meta, ok := varMeta[kv.Key]
+		if !ok {
+			meta = metricMeta{help: "mlvc expvar " + kv.Key, typ: "untyped"}
+			if _, isMap := kv.Value.(*expvar.Map); isMap {
+				meta.label = "key"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			name, helpEscaper.Replace(meta.help), name, meta.typ); err != nil {
+			return err
+		}
+		var err error
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		case *expvar.Float:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, promNum(v.Value()))
+		case *expvar.Map:
+			var keys []string
+			v.Do(func(e expvar.KeyValue) { keys = append(keys, e.Key) })
+			sort.Strings(keys)
+			for _, k := range keys {
+				ev := v.Get(k)
+				if ev == nil {
+					continue
+				}
+				var val string
+				switch sv := ev.(type) {
+				case *expvar.Int:
+					val = strconv.FormatInt(sv.Value(), 10)
+				case *expvar.Float:
+					val = promNum(sv.Value())
+				default:
+					continue // nested maps etc. have no exposition
+				}
+				if _, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n",
+					name, meta.label, labelEscaper.Replace(k), val); err != nil {
+					return err
+				}
+			}
+		default:
+			// Opaque expvar kinds (Func, String) have no numeric sample;
+			// the HELP/TYPE stanza alone documents their presence.
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// MetricsHandler serves WriteOpenMetrics with the Prometheus text
+// content type. Mounted at /metrics by Serve.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metricsContentType)
+		_ = WriteOpenMetrics(w)
+	})
+}

@@ -22,6 +22,8 @@ import (
 	"multilogvc/internal/csr"
 	"multilogvc/internal/extsort"
 	"multilogvc/internal/mlog"
+	"multilogvc/internal/obsv"
+	"multilogvc/internal/ssd"
 	"multilogvc/internal/vc"
 )
 
@@ -54,6 +56,7 @@ type Batch struct {
 type spillState struct {
 	runs       *extsort.Runs
 	m          *extsort.Merger
+	dev        *ssd.Device // for tagging merge reads as StageSpill
 	budgetRecs int
 	next       extsort.Record // lookahead across the chunk boundary
 	have       bool
@@ -115,10 +118,16 @@ func Load(log *mlog.Log, ivs []csr.Interval, startIv int, opts Options) (*Batch,
 		Hi:      ivs[last].Hi,
 		Recs:    make([]Rec, 0, total/mlog.RecordBytes),
 	}
+	dev := log.Device()
 	for iv := startIv; iv <= last; iv++ {
-		if err := log.Read(iv, func(dst, src, data uint32) {
+		// Tag per fused interval so interval-level IO skew attributes log
+		// read-back to the interval that produced it.
+		prevS, prevIv := dev.SetStage(obsv.StageSortGroup, iv)
+		err := log.Read(iv, func(dst, src, data uint32) {
 			b.Recs = append(b.Recs, Rec{Dst: dst, Src: src, Data: data})
-		}); err != nil {
+		})
+		dev.SetStage(prevS, prevIv)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -135,25 +144,36 @@ func loadSpilled(log *mlog.Log, iv csr.Interval, ivIdx int, budget int64) (*Batc
 	if budgetRecs < 1 {
 		budgetRecs = 1
 	}
-	runs := extsort.NewRuns(log.Device(), fmt.Sprintf("%s.%d.spill", log.Prefix(), ivIdx), nil)
+	dev := log.Device()
+	runs := extsort.NewRuns(dev, fmt.Sprintf("%s.%d.spill", log.Prefix(), ivIdx), nil)
 	buf := make([]extsort.Record, 0, budgetRecs)
 	var flushErr error
-	if err := log.Read(ivIdx, func(dst, src, data uint32) {
+	// Log read-back is sort+group work on this interval; the run-file
+	// writes it triggers are spill traffic. The tag flips around each
+	// flush so the two phases stay separable in the per-stage breakdown.
+	prevS, prevIv := dev.SetStage(obsv.StageSortGroup, ivIdx)
+	err := log.Read(ivIdx, func(dst, src, data uint32) {
 		if flushErr != nil {
 			return
 		}
 		buf = append(buf, extsort.Record{Dst: dst, Src: src, Data: data})
 		if len(buf) >= budgetRecs {
+			dev.SetStage(obsv.StageSpill, ivIdx)
 			flushErr = runs.Flush(buf)
+			dev.SetStage(obsv.StageSortGroup, ivIdx)
 			buf = buf[:0]
 		}
-	}); err != nil {
+	})
+	if err != nil {
+		dev.SetStage(prevS, prevIv)
 		runs.Remove()
 		return nil, err
 	}
+	dev.SetStage(obsv.StageSpill, ivIdx)
 	if flushErr == nil {
 		flushErr = runs.Flush(buf)
 	}
+	dev.SetStage(prevS, prevIv)
 	if flushErr != nil {
 		runs.Remove()
 		return nil, flushErr
@@ -164,13 +184,15 @@ func loadSpilled(log *mlog.Log, iv csr.Interval, ivIdx int, budget int64) (*Batc
 		Lo: iv.Lo, Hi: iv.Hi,
 		Spilled: true,
 		spill: &spillState{
-			runs: runs, budgetRecs: budgetRecs,
+			runs: runs, dev: dev, budgetRecs: budgetRecs,
 			ivHi: iv.Hi, nextLo: iv.Lo,
 			bytes: runs.BytesWritten(),
 		},
 	}
+	prevS, prevIv = dev.SetStage(obsv.StageSpill, ivIdx)
 	b.spill.m = runs.Merge()
 	r, ok, err := b.spill.m.Next()
+	dev.SetStage(prevS, prevIv)
 	if err != nil {
 		b.Close()
 		return nil, err
@@ -191,6 +213,10 @@ func loadSpilled(log *mlog.Log, iv csr.Interval, ivIdx int, budget int64) (*Batc
 // carry-only vertex exactly once, in the chunk covering its ID.
 func (b *Batch) fillChunk() error {
 	s := b.spill
+	// Merge reads pull run pages back from the device: spill traffic,
+	// attributed to the owning interval.
+	prevS, prevIv := s.dev.SetStage(obsv.StageSpill, b.FirstIv)
+	defer s.dev.SetStage(prevS, prevIv)
 	b.Recs = b.Recs[:0]
 	b.Lo = s.nextLo
 	b.Hi = s.ivHi

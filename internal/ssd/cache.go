@@ -3,6 +3,8 @@ package ssd
 import (
 	"errors"
 	"fmt"
+
+	"multilogvc/internal/obsv"
 )
 
 // This file holds the cache-aware read path and the prefetch entry points.
@@ -14,8 +16,11 @@ import (
 // copy out of memory for free, and only the missing subset is read from
 // the store and charged to the virtual clock — a batch that hits entirely
 // costs zero device time, which is precisely the win a buffer pool buys.
-// Missed pages enter the cache as demand (hot) pages.
-func (f *File) readPagesCached(pages []int, dst []byte) error {
+// Missed pages enter the cache as demand (hot) pages. Hits and misses are
+// attributed to the stage issuing the read (st; stageAmbient resolves the
+// device's current tag), so per-stage cache counters identify which stage
+// a miss stalled.
+func (f *File) readPagesCached(pages []int, dst []byte, st obsv.Stage) error {
 	ps := f.dev.cfg.PageSize
 	c := f.dev.cache
 	var miss []int   // page indices still needed from the store
@@ -26,6 +31,7 @@ func (f *File) readPagesCached(pages []int, dst []byte) error {
 			missAt = append(missAt, i)
 		}
 	}
+	f.dev.noteCache(len(pages)-len(miss), len(miss), st)
 	if len(miss) == 0 {
 		return nil
 	}
@@ -47,7 +53,7 @@ func (f *File) readPagesCached(pages []int, dst []byte) error {
 	}
 	f.mu.Unlock()
 	f.pagesRead.Add(uint64(len(miss)))
-	f.dev.chargeRead(len(miss), maxPerChannel(f.chanBase, f.dev.cfg.Channels, miss))
+	f.dev.chargeReadStage(len(miss), maxPerChannel(f.chanBase, f.dev.cfg.Channels, miss), st)
 	for k, p := range miss {
 		i := missAt[k]
 		c.Put(f.id, p, dst[i*ps:(i+1)*ps], false)
@@ -110,13 +116,16 @@ func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
 	return warmed, nil
 }
 
-// chargeWarm accounts the fetched prefetch pages as one read batch.
+// chargeWarm accounts the fetched prefetch pages as one read batch,
+// attributed to StagePrefetch explicitly: warming runs on the prefetcher's
+// goroutine, concurrent with whatever stage the engine tagged, so the
+// ambient tag would misattribute it.
 func (f *File) chargeWarm(warmed []int) {
 	if len(warmed) == 0 {
 		return
 	}
 	f.pagesRead.Add(uint64(len(warmed)))
-	f.dev.chargeRead(len(warmed), maxPerChannel(f.chanBase, f.dev.cfg.Channels, warmed))
+	f.dev.chargeReadStage(len(warmed), maxPerChannel(f.chanBase, f.dev.cfg.Channels, warmed), obsv.StagePrefetch)
 }
 
 // UnpinPages releases one pin on each listed page. Pages evicted or

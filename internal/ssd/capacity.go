@@ -219,12 +219,16 @@ func (d *Device) runContextErr() error {
 	return box.ctx.Err()
 }
 
-// sleepRetry charges one jittered backoff delay to the virtual clock.
+// sleepRetry charges one jittered backoff delay to the virtual clock,
+// attributed to the stage whose operation is being retried so per-stage
+// times still sum to StorageTime().
 func (d *Device) sleepRetry(backoff time.Duration) {
+	st, _ := d.StageTag()
 	d.mu.Lock()
 	half := backoff / 2
 	delay := half + time.Duration(splitmix64(&d.retryRNG)%uint64(half+1))
 	d.stats.Retries++
 	d.stats.RetryBackoff += delay
+	d.stats.Stages[st].Time += delay
 	d.mu.Unlock()
 }

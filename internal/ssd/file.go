@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"multilogvc/internal/obsv"
 )
 
 // File is a named extent of pages on a Device.
@@ -72,8 +74,12 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 		return ErrShortBuffer
 	}
 	c := f.dev.cache
-	if c != nil && c.Get(f.id, idx, buf) {
-		return nil
+	if c != nil {
+		if c.Get(f.id, idx, buf) {
+			f.dev.noteCache(1, 0, stageAmbient)
+			return nil
+		}
+		f.dev.noteCache(0, 1, stageAmbient)
 	}
 	if err := f.dev.opCheck(); err != nil {
 		return err
@@ -101,6 +107,18 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 // virtual clock advances by the busiest channel's queue depth, modelling
 // asynchronous kernel IO over multiple flash channels.
 func (f *File) ReadPages(pages []int, dst []byte) error {
+	return f.readPagesStage(pages, dst, stageAmbient)
+}
+
+// ReadPagesTagged is ReadPages with the charge attributed to an explicit
+// stage instead of the device's current stage tag. Background issuers (the
+// prefetcher's expand step) use it so concurrent engine IO keeps its own
+// attribution.
+func (f *File) ReadPagesTagged(pages []int, dst []byte, st obsv.Stage) error {
+	return f.readPagesStage(pages, dst, st)
+}
+
+func (f *File) readPagesStage(pages []int, dst []byte, st obsv.Stage) error {
 	ps := f.dev.cfg.PageSize
 	if len(dst) != len(pages)*ps {
 		return ErrShortBuffer
@@ -109,7 +127,7 @@ func (f *File) ReadPages(pages []int, dst []byte) error {
 		return nil
 	}
 	if f.dev.cache != nil {
-		return f.readPagesCached(pages, dst)
+		return f.readPagesCached(pages, dst, st)
 	}
 	if err := f.dev.opCheck(); err != nil {
 		return err
@@ -128,7 +146,7 @@ func (f *File) ReadPages(pages []int, dst []byte) error {
 	}
 	f.mu.Unlock()
 	f.pagesRead.Add(uint64(len(pages)))
-	f.dev.chargeRead(len(pages), maxPerChannel(f.chanBase, f.dev.cfg.Channels, pages))
+	f.dev.chargeReadStage(len(pages), maxPerChannel(f.chanBase, f.dev.cfg.Channels, pages), st)
 	return nil
 }
 
@@ -147,7 +165,7 @@ func (f *File) ReadPageRange(start, n int, dst []byte) error {
 		for i := range pages {
 			pages[i] = start + i
 		}
-		return f.readPagesCached(pages, dst)
+		return f.readPagesCached(pages, dst, stageAmbient)
 	}
 	if err := f.dev.opCheck(); err != nil {
 		return err

@@ -169,6 +169,35 @@ type Stats struct {
 	WriteImbalance  obsv.Hist // same for write batches
 	ReadLatencyUS   obsv.Hist // virtual service time per read batch, µs
 	WriteLatencyUS  obsv.Hist // virtual service time per write batch, µs
+
+	// Stages attributes the same traffic to the pipeline stage that issued
+	// it (see SetStage). Every charge lands in exactly one stage, so for
+	// any snapshot delta the per-stage counters sum to the global ones:
+	// Σ Stages[i].PagesRead == PagesRead, Σ Stages[i].Time == StorageTime().
+	Stages [obsv.NumStages]StageStats
+}
+
+// StageStats is the per-stage slice of the device counters: pages moved,
+// the virtual time they cost (service latency plus retry backoff charged
+// while the stage was active), and how the attached page cache treated the
+// stage's reads (both zero on uncached devices).
+type StageStats struct {
+	PagesRead    uint64
+	PagesWritten uint64
+	Time         time.Duration
+	CacheHits    uint64 // cached pages the stage's reads found resident
+	CacheMisses  uint64 // pages the stage's reads had to fetch
+}
+
+// Sub returns s - t, counter-wise (same contract as Stats.Sub).
+func (s StageStats) Sub(t StageStats) StageStats {
+	return StageStats{
+		PagesRead:    s.PagesRead - t.PagesRead,
+		PagesWritten: s.PagesWritten - t.PagesWritten,
+		Time:         s.Time - t.Time,
+		CacheHits:    s.CacheHits - t.CacheHits,
+		CacheMisses:  s.CacheMisses - t.CacheMisses,
+	}
 }
 
 // StorageTime returns the total virtual time charged to the device,
@@ -209,7 +238,17 @@ func (s Stats) Sub(t Stats) Stats {
 		WriteImbalance:  s.WriteImbalance.Sub(t.WriteImbalance),
 		ReadLatencyUS:   s.ReadLatencyUS.Sub(t.ReadLatencyUS),
 		WriteLatencyUS:  s.WriteLatencyUS.Sub(t.WriteLatencyUS),
+
+		Stages: s.subStages(t),
 	}
+}
+
+func (s Stats) subStages(t Stats) [obsv.NumStages]StageStats {
+	var out [obsv.NumStages]StageStats
+	for i := range out {
+		out[i] = s.Stages[i].Sub(t.Stages[i])
+	}
+	return out
 }
 
 // Device is a simulated multi-channel SSD hosting named files.
@@ -265,6 +304,70 @@ type Device struct {
 	// runCtx, when set, aborts retry backoff on cancellation (see
 	// SetRunContext) so a deadline is not overshot by the retry budget.
 	runCtx atomic.Pointer[runCtxBox]
+
+	// stageTag packs the current pipeline stage and vertex interval (see
+	// SetStage). It is device-global: the engine's superstep loop is
+	// phase-scoped on one goroutine, so engine IO — including worker sends
+	// during vertex processing — inherits the right stage; the only
+	// background issuer, the prefetcher, charges StagePrefetch explicitly
+	// (WarmPages) instead of touching the tag.
+	stageTag atomic.Uint64
+
+	// ivPages accumulates pages moved (read+written) per tagged interval,
+	// for straggler-skew attribution. Guarded by mu; nil until the first
+	// interval-tagged charge.
+	ivPages map[int]uint64
+}
+
+// stageAmbient is the internal sentinel for "resolve the stage from the
+// device's current tag" on charge paths; explicit stages bypass the tag.
+const stageAmbient = obsv.Stage(0xFF)
+
+// packStage packs a stage and interval into one atomic word. Intervals are
+// stored +1 so the zero word reads back as (StageOther, -1).
+func packStage(s obsv.Stage, iv int) uint64 {
+	return uint64(s) | uint64(uint32(iv+1))<<8
+}
+
+func unpackStage(w uint64) (obsv.Stage, int) {
+	return obsv.Stage(w & 0xFF), int(uint32(w>>8)) - 1
+}
+
+// SetStage tags subsequent device IO with the issuing pipeline stage and
+// vertex interval (-1 = no interval), returning the previous tag so a
+// scoped section can restore it:
+//
+//	prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
+//	defer dev.SetStage(prevS, prevIv)
+//
+// The tag is advisory attribution state: it never changes what IO costs,
+// only which Stats.Stages row it lands in.
+func (d *Device) SetStage(s obsv.Stage, iv int) (obsv.Stage, int) {
+	return unpackStage(d.stageTag.Swap(packStage(s, iv)))
+}
+
+// StageTag returns the device's current stage tag. Out-of-range stages
+// (never produced by SetStage with a defined constant) read back as
+// StageOther so attribution arrays cannot be indexed out of bounds.
+func (d *Device) StageTag() (obsv.Stage, int) {
+	st, iv := unpackStage(d.stageTag.Load())
+	if int(st) >= obsv.NumStages {
+		st = obsv.StageOther
+	}
+	return st, iv
+}
+
+// IntervalIO returns a copy of the cumulative pages moved (read+written)
+// per tagged vertex interval. Engines snapshot it around a superstep and
+// subtract to find stragglers.
+func (d *Device) IntervalIO() map[int]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]uint64, len(d.ivPages))
+	for iv, n := range d.ivPages {
+		out[iv] = n
+	}
+	return out
 }
 
 // PageCache is the buffer-pool interface the device consults on reads and
@@ -531,11 +634,13 @@ func (d *Device) Stats() Stats {
 	return d.stats
 }
 
-// ResetStats zeroes all device counters.
+// ResetStats zeroes all device counters, including the per-stage and
+// per-interval attribution.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats = Stats{}
+	d.ivPages = nil
 }
 
 // Create creates a new empty file. It fails if the name is taken.
@@ -653,10 +758,20 @@ func (d *Device) StatsByFile() map[string]FileStats {
 	return out
 }
 
-// chargeRead charges a batch of page reads to the virtual clock.
-// pagesPerChan[i] is the number of pages queued on channel i; the batch
-// completes when the busiest channel drains.
+// chargeRead charges a batch of page reads to the virtual clock,
+// attributed to the device's current stage tag. The batch completes when
+// the busiest channel drains its queue of maxOnChan pages.
 func (d *Device) chargeRead(npages int, maxOnChan int) {
+	d.chargeReadStage(npages, maxOnChan, stageAmbient)
+}
+
+// chargeReadStage is chargeRead with an explicit stage; stageAmbient
+// resolves the stage (and interval) from the current tag.
+func (d *Device) chargeReadStage(npages int, maxOnChan int, st obsv.Stage) {
+	iv := -1
+	if st == stageAmbient {
+		st, iv = d.StageTag()
+	}
 	lat := time.Duration(maxOnChan) * d.cfg.PageReadLatency
 	d.mu.Lock()
 	d.stats.PagesRead += uint64(npages)
@@ -666,10 +781,20 @@ func (d *Device) chargeRead(npages int, maxOnChan int) {
 	d.stats.ReadBatchPages.Observe(uint64(npages))
 	d.stats.ReadImbalance.Observe(uint64(maxOnChan - idealDepth(npages, d.cfg.Channels)))
 	d.stats.ReadLatencyUS.Observe(uint64(lat / time.Microsecond))
+	sst := &d.stats.Stages[st]
+	sst.PagesRead += uint64(npages)
+	sst.Time += lat
+	if iv >= 0 {
+		if d.ivPages == nil {
+			d.ivPages = make(map[int]uint64)
+		}
+		d.ivPages[iv] += uint64(npages)
+	}
 	d.mu.Unlock()
 }
 
 func (d *Device) chargeWrite(npages int, maxOnChan int) {
+	st, iv := d.StageTag()
 	lat := time.Duration(maxOnChan) * d.cfg.PageWriteLatency
 	d.mu.Lock()
 	d.stats.PagesWritten += uint64(npages)
@@ -679,6 +804,32 @@ func (d *Device) chargeWrite(npages int, maxOnChan int) {
 	d.stats.WriteBatchPages.Observe(uint64(npages))
 	d.stats.WriteImbalance.Observe(uint64(maxOnChan - idealDepth(npages, d.cfg.Channels)))
 	d.stats.WriteLatencyUS.Observe(uint64(lat / time.Microsecond))
+	sst := &d.stats.Stages[st]
+	sst.PagesWritten += uint64(npages)
+	sst.Time += lat
+	if iv >= 0 {
+		if d.ivPages == nil {
+			d.ivPages = make(map[int]uint64)
+		}
+		d.ivPages[iv] += uint64(npages)
+	}
+	d.mu.Unlock()
+}
+
+// noteCache attributes page-cache consult outcomes to a stage;
+// stageAmbient resolves from the current tag. Called at the device's
+// cache consult points so per-stage hit/miss counts line up with the
+// cache's own counters (see pagecache.Stats).
+func (d *Device) noteCache(hits, misses int, st obsv.Stage) {
+	if hits == 0 && misses == 0 {
+		return
+	}
+	if st == stageAmbient {
+		st, _ = d.StageTag()
+	}
+	d.mu.Lock()
+	d.stats.Stages[st].CacheHits += uint64(hits)
+	d.stats.Stages[st].CacheMisses += uint64(misses)
 	d.mu.Unlock()
 }
 
