@@ -86,6 +86,7 @@ var experiments = []experiment{
 	{"checkpoint", "checkpoint overhead at K=0/1/5", func(b *benchCtx) (*metrics.Table, error) { return harness.CheckpointOverhead(b.size) }},
 	{"integrity", "page-checksum overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.Integrity(b.size) }},
 	{"spill", "sort-budget spill overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.SpillOverhead(b.size) }},
+	{"serving", "multi-source query batching: pages/query at batch 1/4/16", func(b *benchCtx) (*metrics.Table, error) { return harness.Serving(b.size) }},
 }
 
 func expNames() string {

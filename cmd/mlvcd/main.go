@@ -1,0 +1,132 @@
+// Command mlvcd serves point queries over one resident graph: a
+// long-running daemon that opens a built device directory, attaches a
+// shared page cache, and answers concurrent BFS/SSSP/random-walk queries
+// over HTTP/JSON. Compatible point queries arriving within the batching
+// window coalesce into one multi-source engine execution with per-query
+// results bit-identical to individual runs.
+//
+// Usage:
+//
+//	mlvc build -graph graph.bin -dir /data/dev        # once
+//	mlvcd -dir /data/dev -addr :8080 -cache-mb 64     # serve
+//
+//	curl -X POST :8080/query/bfs  -d '{"source":3,"targets":[7,100]}'
+//	curl -X POST :8080/query/sssp -d '{"source":9,"deadline_ms":500}'
+//	curl -X POST :8080/walk       -d '{"source":3,"walks":4,"length":8}'
+//	curl :8080/graph  ·  curl :8080/stats  ·  curl :8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: in-flight batches finish, new
+// queries are shed with a structured shutting_down error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multilogvc/internal/csr"
+	"multilogvc/internal/pagecache"
+	"multilogvc/internal/serve"
+	"multilogvc/internal/ssd"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mlvcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mlvcd", flag.ExitOnError)
+	dir := fs.String("dir", "", "device directory built with `mlvc build` (required)")
+	name := fs.String("name", "g", "graph name inside the device")
+	addr := fs.String("addr", ":8080", "listen address")
+	pageSize := fs.Int("page", 16384, "SSD page size the device was built with")
+	channels := fs.Int("channels", 8, "SSD channels")
+	cacheMB := fs.Int("cache-mb", 64, "shared page-cache size in MiB; 0 serves uncached")
+	mem := fs.Int64("mem", 64<<20, "per-execution engine memory budget (bytes)")
+	steps := fs.Int("steps", 100, "max supersteps per query execution")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "query batching window")
+	maxBatch := fs.Int("max-batch", 16, "max queries per batched execution")
+	maxConc := fs.Int("max-concurrent", 2, "max simultaneous engine executions")
+	maxQueue := fs.Int("max-queue", 64, "max admitted-but-unfinished queries; beyond it queries are shed")
+	deadline := fs.Duration("deadline", 30*time.Second, "default per-query deadline")
+	retries := fs.Int("retries", 0, "max retries per transient device fault; 0 = default (3), -1 disables")
+	diskCap := fs.Int64("disk-cap", 0, "device byte quota; query scratch past it is shed with no_space (0 = unlimited)")
+	fs.Parse(args)
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("-dir is required")
+	}
+
+	dev, err := ssd.Open(ssd.Config{
+		PageSize: *pageSize, Channels: *channels, Dir: *dir,
+		Capacity: *diskCap, Retry: ssd.RetryPolicy{MaxRetries: *retries},
+	})
+	if err != nil {
+		return err
+	}
+	var cache *pagecache.Cache
+	if c := pagecache.FromMB(*cacheMB, dev.PageSize()); c != nil {
+		dev.AttachCache(c)
+		cache = c
+	}
+	g, err := csr.Open(dev, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mlvcd: opened %q: %d vertices, %d edges, %d intervals\n",
+		*name, g.NumVertices(), g.NumEdges(), len(g.Intervals()))
+
+	s, err := serve.New(serve.Options{
+		Graph:           g,
+		Cache:           cache,
+		BatchWindow:     *window,
+		MaxBatch:        *maxBatch,
+		MaxConcurrent:   *maxConc,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *deadline,
+		MaxSupersteps:   *steps,
+		MemoryBudget:    *mem,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("mlvcd: serving on http://%s (POST /query/bfs /query/sssp /walk; GET /graph /stats /metrics)\n",
+		ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mlvcd: %v received; draining\n", sig)
+	case err := <-errc:
+		return err
+	}
+
+	// Drain: stop accepting connections, shed new queries, finish
+	// in-flight batches, then exit cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	s.Close()
+	fmt.Println("mlvcd: drained; bye")
+	return nil
+}

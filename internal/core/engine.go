@@ -143,6 +143,24 @@ type Config struct {
 	// sortgroup's chunked external sort-group, trading extra device IO for
 	// a hard memory bound, with results identical to the in-memory path.
 	SortBudget int64
+	// RunTag namespaces the run's scratch files (values, message logs,
+	// edge log, spill runs, checkpoints) as "<graph>.<RunTag>.*" instead
+	// of "<graph>.*", so concurrent runs over one resident graph never
+	// collide. Empty keeps the historical names.
+	RunTag string
+	// Ephemeral marks a transient query run (the serving daemon's mode):
+	// an interrupt or deadline at a superstep boundary returns without
+	// committing a checkpoint, and every scratch file is removed when the
+	// run returns, success or not. Requires RunTag (the cleanup sweep is
+	// prefix-based) and is incompatible with CheckpointEvery and Resume.
+	Ephemeral bool
+	// Scope, when non-nil, attributes the run's device IO to a per-run
+	// ssd.IOScope: stage tags, the retry-layer run context, and the
+	// stats/interval counters the engine reads per superstep all resolve
+	// against the scope instead of the device-global slots. Required for
+	// correct attribution when several runs share one device; checkpoint
+	// slot IO (ckpt files are not scoped) still lands device-global.
+	Scope *ssd.IOScope
 }
 
 func (c Config) withDefaults() Config {
@@ -228,14 +246,57 @@ func (r *reclaimState) reclaim() {
 type Engine struct {
 	g   *csr.Graph
 	cfg Config
+	io  runIO
 }
 
-// New creates an engine over an opened CSR graph.
+// New creates an engine over an opened CSR graph. With Config.Scope set,
+// the engine works through a scoped view of the graph so all its CSR and
+// scratch IO is attributed to the scope.
 func New(g *csr.Graph, cfg Config) *Engine {
-	return &Engine{g: g, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	return &Engine{g: g.View(cfg.Scope), cfg: cfg, io: runIO{dev: g.Device(), sc: cfg.Scope}}
 }
 
-// Result carries the run report and final vertex values.
+// runIO resolves where the run's ambient stage tag, stats, and interval
+// counters live: its IOScope when configured, else the device's global
+// slots (the pre-scope behavior).
+type runIO struct {
+	dev *ssd.Device
+	sc  *ssd.IOScope
+}
+
+func (r runIO) SetStage(s obsv.Stage, iv int) (obsv.Stage, int) {
+	if r.sc != nil {
+		return r.sc.SetStage(s, iv)
+	}
+	return r.dev.SetStage(s, iv)
+}
+
+func (r runIO) Stats() ssd.Stats {
+	if r.sc != nil {
+		return r.sc.Stats()
+	}
+	return r.dev.Stats()
+}
+
+func (r runIO) IntervalIO() map[int]uint64 {
+	if r.sc != nil {
+		return r.sc.IntervalIO()
+	}
+	return r.dev.IntervalIO()
+}
+
+func (r runIO) SetRunContext(ctx context.Context) {
+	if r.sc != nil {
+		r.sc.SetRunContext(ctx)
+		return
+	}
+	r.dev.SetRunContext(ctx)
+}
+
+// Result carries the run report and final vertex values. For a
+// lane-batched program (vc.LaneProgram with K > 1 lanes) Values holds
+// n×K slots laid out v*K+lane; apps.LaneResult extracts one query's view.
 type Result struct {
 	Report *metrics.Report
 	Values []uint32
@@ -261,9 +322,8 @@ func (e *Engine) RunCtx(ctx context.Context, prog vc.Program) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	dev := e.g.Device()
-	dev.SetRunContext(ctx)
-	defer dev.SetRunContext(nil)
+	e.io.SetRunContext(ctx)
+	defer e.io.SetRunContext(nil)
 
 	res, err := e.runOnce(ctx, prog, e.cfg.Resume, 0)
 	if err != nil && errors.Is(err, ssd.ErrCorruptPage) && !errors.Is(err, ErrInterrupted) {
@@ -298,6 +358,50 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	ivs := g.Intervals()
 	name := g.Name()
 
+	// RunTag namespaces every scratch file so concurrent runs over one
+	// resident graph never collide.
+	base := name
+	auxName := prog.Name()
+	if cfg.RunTag != "" {
+		base = name + "." + cfg.RunTag
+		auxName = prog.Name() + "." + cfg.RunTag
+	}
+
+	// Lane-batched programs fan K point queries into one execution. Lanes
+	// rule out checkpoint/resume (snapshots are single-lane) and Combiner
+	// (messages of different lanes must never merge).
+	lanes := 1
+	laneProg, _ := prog.(vc.LaneProgram)
+	if laneProg != nil {
+		if lanes = laneProg.Lanes(); lanes < 1 {
+			lanes = 1
+		}
+	}
+	if lanes > 1 {
+		if cfg.CheckpointEvery > 0 || cfg.Resume {
+			return nil, fmt.Errorf("core: lane-batched program %q does not support checkpointing or resume", prog.Name())
+		}
+		if _, ok := prog.(vc.Combiner); ok {
+			return nil, fmt.Errorf("core: lane-batched program %q must not implement vc.Combiner", prog.Name())
+		}
+	}
+
+	if cfg.Ephemeral {
+		if cfg.RunTag == "" {
+			return nil, fmt.Errorf("core: Ephemeral requires RunTag (scratch cleanup sweeps the run's name prefix)")
+		}
+		if cfg.CheckpointEvery > 0 || cfg.Resume {
+			return nil, fmt.Errorf("core: Ephemeral is incompatible with checkpointing and resume")
+		}
+		// Leave nothing behind, success or failure: the run's scratch
+		// namespace (values, message logs, edge log, spill runs) and any
+		// aux arrays are swept when the run returns.
+		defer func() {
+			_, _ = dev.RemovePrefix(base + ".")
+			_, _ = dev.RemovePrefix(fmt.Sprintf("%s.aux.%s.", name, auxName))
+		}()
+	}
+
 	report := &metrics.Report{Engine: "multilogvc", App: prog.Name(), Graph: name}
 	report.Rollbacks = rollbacks
 	wallStart := time.Now()
@@ -307,14 +411,14 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	// missing checkpoint degrades to a fresh start; a corrupt one (every
 	// slot torn or CRC-invalid) is an error the caller can distinguish
 	// via ckpt.ErrCorrupt.
-	ckptPrefix := name + "." + prog.Name()
+	ckptPrefix := base + "." + prog.Name()
 	var rst *ckpt.State
 	var ckptSeq uint64
 	startStep := 0
 	if cfg.Resume {
-		prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
+		prevS, prevIv := e.io.SetStage(obsv.StageCheckpoint, -1)
 		st, err := ckpt.Load(dev, ckptPrefix)
-		dev.SetStage(prevS, prevIv)
+		e.io.SetStage(prevS, prevIv)
 		switch {
 		case errors.Is(err, ckpt.ErrNoCheckpoint):
 			// Nothing to resume from: run from superstep 0.
@@ -330,11 +434,16 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		}
 	}
 
-	initValue := func(v uint32) uint32 { return prog.InitValue(v, n) }
-	if rst != nil {
-		initValue = func(v uint32) uint32 { return rst.Values[v] }
+	initLane := func(v uint32, lane int) uint32 {
+		if laneProg != nil {
+			return laneProg.InitValueLane(v, lane, n)
+		}
+		return prog.InitValue(v, n)
 	}
-	values, err := csr.CreateValuesFunc(dev, name+".values", n, initValue)
+	if rst != nil { // resume implies lanes == 1
+		initLane = func(v uint32, _ int) uint32 { return rst.Values[v] }
+	}
+	values, err := csr.CreateValuesLanesFunc(dev, base+".values", n, lanes, cfg.Scope, initLane)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +451,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	var aux *csr.Aux
 	auxUser, isAux := prog.(vc.AuxUser)
 	if isAux {
-		aux, err = csr.CreateAux(g, prog.Name(), auxUser.AuxInit(n))
+		aux, err = csr.CreateAux(g, auxName, auxUser.AuxInit(n))
 		if err != nil {
 			return nil, err
 		}
@@ -360,25 +469,28 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	}
 	sortOpts := sortgroup.Options{SortBudget: sortBudget, NoFuse: cfg.DisableFusing}
 	tr := cfg.Trace
-	curLog, err := mlog.New(dev, name+".mlog.0", len(ivs), mlogBudget)
+	curLog, err := mlog.New(dev, base+".mlog.0", len(ivs), mlogBudget)
 	if err != nil {
 		return nil, err
 	}
-	nextLog, err := mlog.New(dev, name+".mlog.1", len(ivs), mlogBudget)
+	nextLog, err := mlog.New(dev, base+".mlog.1", len(ivs), mlogBudget)
 	if err != nil {
 		return nil, err
 	}
 	curLog.SetTracer(tr)
 	nextLog.SetTracer(tr)
+	curLog.SetScope(cfg.Scope)
+	nextLog.SetScope(cfg.Scope)
 
 	var elog *edgelog.EdgeLog
 	var pred *edgelog.Predictor
 	if !cfg.DisableEdgeLog {
-		elog, err = edgelog.New(dev, name+".elog", g.HasWeights())
+		elog, err = edgelog.New(dev, base+".elog", g.HasWeights())
 		if err != nil {
 			return nil, err
 		}
 		elog.SetTracer(tr)
+		elog.SetScope(cfg.Scope)
 		pred = edgelog.NewPredictor(n, dev.PageSize(), cfg.UtilThreshold)
 	}
 	elogBudget := cfg.MemoryBudget * int64(cfg.ELogPct) / 100
@@ -428,9 +540,9 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 	live.Runs.Add(1)
 
 	if rst != nil {
-		prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
+		prevS, prevIv := e.io.SetStage(obsv.StageCheckpoint, -1)
 		err := restoreState(rst, carry, aux, curLog, elog, pred, report)
-		dev.SetStage(prevS, prevIv)
+		e.io.SetStage(prevS, prevIv)
 		if err != nil {
 			return nil, err
 		}
@@ -443,7 +555,12 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		case <-cfg.Interrupt:
 			// Graceful shutdown: the boundary state is consistent, so
 			// commit it — regardless of CheckpointEvery — and classify the
-			// exit so the caller knows a resume will pick up here.
+			// exit so the caller knows a resume will pick up here. An
+			// ephemeral run has nothing worth resuming: it returns
+			// immediately and its scratch is swept by the deferred cleanup.
+			if cfg.Ephemeral {
+				return nil, fmt.Errorf("%w at superstep %d", ErrInterrupted, step)
+			}
 			rcl.setCkptBusy(true)
 			err := e.writeCheckpoint(ckptPrefix, ckptSeq, step, cumProcessed,
 				values, carry, aux, isAux, curLog, elog, pred, report, nil)
@@ -455,16 +572,19 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		case <-ctx.Done():
 			// Deadline or cancellation: same graceful boundary exit as an
 			// interrupt, classified so the caller can tell them apart.
+			cause := ErrInterrupted
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				cause = ErrDeadline
+			}
+			if cfg.Ephemeral {
+				return nil, fmt.Errorf("%w at superstep %d", cause, step)
+			}
 			rcl.setCkptBusy(true)
 			err := e.writeCheckpoint(ckptPrefix, ckptSeq, step, cumProcessed,
 				values, carry, aux, isAux, curLog, elog, pred, report, nil)
 			rcl.setCkptBusy(false)
 			if err != nil {
 				return nil, fmt.Errorf("core: deadline checkpoint: %w", err)
-			}
-			cause := ErrInterrupted
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				cause = ErrDeadline
 			}
 			return nil, fmt.Errorf("%w at superstep %d (checkpoint committed)", cause, step)
 		default:
@@ -475,8 +595,8 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			break
 		}
 		stepStart := time.Now()
-		devBefore := dev.Stats()
-		ivBefore := dev.IntervalIO()
+		devBefore := e.io.Stats()
+		ivBefore := e.io.IntervalIO()
 		var cacheBefore pagecache.Stats
 		if cache := cfg.Cache; cache != nil {
 			cacheBefore = cache.Stats()
@@ -490,12 +610,12 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		var pfEpoch uint64 // pins covering the batch about to be processed
 		for ivStart := 0; ivStart < len(ivs); {
 			loadSpan := tr.Begin("engine", "load+sort")
-			loadBefore := dev.Stats()
+			loadBefore := e.io.Stats()
 			batch, err := sortgroup.Load(curLog, ivs, ivStart, sortOpts)
 			if err != nil {
 				return nil, err
 			}
-			loadSpan.Arg("pages_read", int64(dev.Stats().Sub(loadBefore).PagesRead))
+			loadSpan.Arg("pages_read", int64(e.io.Stats().Sub(loadBefore).PagesRead))
 			loadSpan.Arg("first_iv", int64(batch.FirstIv))
 			loadSpan.Arg("last_iv", int64(batch.LastIv))
 			loadSpan.Arg("records", int64(len(batch.Recs)))
@@ -528,7 +648,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			// message-activated or carry-only — is processed exactly once.
 			procSpan := tr.Begin("engine", "process-batch")
 			procSpan.Arg("first_iv", int64(batch.FirstIv))
-			procBefore := dev.Stats()
+			procBefore := e.io.Stats()
 			for err == nil {
 				if err = e.processBatch(&batchRun{
 					prog: prog, combiner: combiner, aux: aux, isAux: isAux,
@@ -549,7 +669,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			if err != nil {
 				return nil, err
 			}
-			procDelta := dev.Stats().Sub(procBefore)
+			procDelta := e.io.Stats().Sub(procBefore)
 			procSpan.Arg("pages_read", int64(procDelta.PagesRead))
 			procSpan.Arg("pages_written", int64(procDelta.PagesWritten))
 			procSpan.End()
@@ -607,9 +727,9 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		// The boundary flush drains message-log pages the vertex stage
 		// produced; it belongs to the same traffic class as the in-batch
 		// Send evictions.
-		prevS, prevIv := dev.SetStage(obsv.StageVertex, -1)
+		prevS, prevIv := e.io.SetStage(obsv.StageVertex, -1)
 		err := nextLog.FlushAll()
-		dev.SetStage(prevS, prevIv)
+		e.io.SetStage(prevS, prevIv)
 		if err != nil {
 			return nil, err
 		}
@@ -619,9 +739,9 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			ss.PredictedIneff = st.PredictedIneff
 			ss.CorrectPredicted = st.Correct
 			ss.UtilPagesTouched = st.PagesTouched
-			prevS, prevIv := dev.SetStage(obsv.StageRelog, -1)
+			prevS, prevIv := e.io.SetStage(obsv.StageRelog, -1)
 			err := elog.EndSuperstep()
-			dev.SetStage(prevS, prevIv)
+			e.io.SetStage(prevS, prevIv)
 			if err != nil {
 				return nil, err
 			}
@@ -634,7 +754,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		}
 		flushSpan.End()
 
-		devDelta := dev.Stats().Sub(devBefore)
+		devDelta := e.io.Stats().Sub(devBefore)
 		ss.Stages = metrics.StagesFromDevice(devDelta)
 		// Interval-level IO skew: how unevenly this superstep's tagged
 		// device traffic spread over the vertex intervals. The histogram
@@ -643,7 +763,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		// small but whose spill or CSR traffic is not).
 		var maxIvP, sumIvP uint64
 		var nIv int
-		for iv, p := range dev.IntervalIO() {
+		for iv, p := range e.io.IntervalIO() {
 			d := p - ivBefore[iv]
 			if d == 0 {
 				continue
@@ -698,7 +818,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 		if k := cfg.CheckpointEvery; k > 0 && (step+1)%k == 0 {
 			ckSpan := tr.Begin("engine", "checkpoint")
 			ckSpan.Arg("step", int64(step+1))
-			ckBefore := dev.Stats()
+			ckBefore := e.io.Stats()
 			var ckCacheBefore pagecache.Stats
 			if cache := cfg.Cache; cache != nil {
 				ckCacheBefore = cache.Stats()
@@ -712,7 +832,7 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			}
 			rcl.noteCheckpoint(ckptSeq)
 			ckptSeq++
-			ckDelta := dev.Stats().Sub(ckBefore)
+			ckDelta := e.io.Stats().Sub(ckBefore)
 			ss.Stages = metrics.MergeStages(ss.Stages, metrics.StagesFromDevice(ckDelta))
 			if cache := cfg.Cache; cache != nil {
 				// The snapshot reads go through the cache too; fold their
@@ -784,9 +904,8 @@ func (e *Engine) writeCheckpoint(prefix string, seq uint64, step int, cumProcess
 	// All snapshot IO — the state reads below and ckpt.Save's slot writes —
 	// is checkpoint overhead, tagged here so every call site (periodic,
 	// interrupt, deadline) attributes identically.
-	dev := e.g.Device()
-	prevS, prevIv := dev.SetStage(obsv.StageCheckpoint, -1)
-	defer dev.SetStage(prevS, prevIv)
+	prevS, prevIv := e.io.SetStage(obsv.StageCheckpoint, -1)
+	defer e.io.SetStage(prevS, prevIv)
 
 	st := &ckpt.State{
 		App:          report.App,
@@ -1005,9 +1124,8 @@ func (e *Engine) processBatch(br *batchRun) error {
 	// IO on the batch's interval range. Workers inherit the tag: they only
 	// issue device IO through Send, whose eviction path runs while this
 	// phase owns the device tag.
-	dev := e.g.Device()
-	prevS, prevIv := dev.SetStage(obsv.StageVertex, batch.FirstIv)
-	defer dev.SetStage(prevS, prevIv)
+	prevS, prevIv := e.io.SetStage(obsv.StageVertex, batch.FirstIv)
+	defer e.io.SetStage(prevS, prevIv)
 	// Active set = message destinations ∪ carried-live vertices in range.
 	verts := batch.ActiveVertices()
 	br.carry.RangeInRange(int(batch.Lo), int(batch.Hi), func(i int) bool {
@@ -1247,7 +1365,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 	// were inefficient, within the edge-log buffer budget.
 	if br.elog != nil {
 		relogSpan := tr.Begin("engine", "edgelog-relog")
-		dev.SetStage(obsv.StageRelog, batch.FirstIv)
+		e.io.SetStage(obsv.StageRelog, batch.FirstIv)
 		for _, v := range verts {
 			a := adj[v]
 			if a == nil || a.fromElog || len(a.nbrs) == 0 || !a.pageIneff {
@@ -1266,7 +1384,7 @@ func (e *Engine) processBatch(br *batchRun) error {
 		}
 		relogSpan.Arg("logged_bytes", br.elog.LoggedBytes())
 		relogSpan.End()
-		dev.SetStage(obsv.StageVertex, batch.FirstIv)
+		e.io.SetStage(obsv.StageVertex, batch.FirstIv)
 	}
 
 	// Write dirty value pages and aux pages back.
@@ -1305,6 +1423,14 @@ func (c *engineCtx) Vertex() uint32      { return c.vertex }
 func (c *engineCtx) Value() uint32       { return c.vb.Get(c.vertex) }
 func (c *engineCtx) SetValue(v uint32)   { c.vb.Set(c.vertex, v) }
 func (c *engineCtx) VoteToHalt()         { *c.haltedFlag = true }
+
+// ValueLane and SetValueLane implement vc.LaneContext: lane-batched
+// programs address the lane-strided value slots of the processed vertex.
+// Distinct (vertex, lane) slots are written by at most one worker, so the
+// ValueBatch's concurrency contract holds.
+func (c *engineCtx) ValueLane(lane int) uint32 { return c.vb.GetLane(c.vertex, lane) }
+
+func (c *engineCtx) SetValueLane(lane int, v uint32) { c.vb.SetLane(c.vertex, lane, v) }
 
 func (c *engineCtx) OutEdges() []uint32 {
 	if a := c.adj[c.vertex]; a != nil {

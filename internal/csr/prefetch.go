@@ -18,19 +18,23 @@ import (
 func (vv *Values) File() *ssd.File { return vv.f }
 
 // PagesForVerts returns the distinct pages holding the value slots of the
-// given vertices, which must be sorted ascending.
+// given vertices (all lanes), which must be sorted ascending.
 func (vv *Values) PagesForVerts(verts []uint32) []int {
 	ps := vv.dev.PageSize()
+	lanes := int64(vv.laneCount())
 	var pages []int
 	last := -1
 	for _, v := range verts {
 		if v >= vv.n {
 			continue
 		}
-		p := int(int64(v) * 4 / int64(ps))
-		if p != last {
-			pages = append(pages, p)
-			last = p
+		bLo := int64(v) * lanes * 4
+		bHi := bLo + lanes*4
+		for p := int(bLo / int64(ps)); p <= int((bHi-1)/int64(ps)); p++ {
+			if p != last {
+				pages = append(pages, p)
+				last = p
+			}
 		}
 	}
 	return pages

@@ -27,12 +27,18 @@ func (vv *Values) LoadForVerts(verts []uint32) (*ValueBatch, int, error) {
 		return b, 0, nil
 	}
 	ps := vv.dev.PageSize()
+	lanes := int64(vv.laneCount())
 	pageSet := make(map[int]bool)
 	for _, v := range verts {
 		if v >= vv.n {
 			return nil, 0, fmt.Errorf("csr: value vertex %d out of [0,%d)", v, vv.n)
 		}
-		pageSet[int(int64(v)*4/int64(ps))] = true
+		// All lanes of v: slots [v*lanes, (v+1)*lanes), 4 bytes each.
+		bLo := int64(v) * lanes * 4
+		bHi := bLo + lanes*4
+		for p := bLo / int64(ps); p <= (bHi-1)/int64(ps); p++ {
+			pageSet[int(p)] = true
+		}
 	}
 	pages := make([]int, 0, len(pageSet))
 	for p := range pageSet {
@@ -50,18 +56,25 @@ func (vv *Values) LoadForVerts(verts []uint32) (*ValueBatch, int, error) {
 	return b, len(pages), nil
 }
 
-// Get returns v's value. v must be covered by the batch.
-func (b *ValueBatch) Get(v uint32) uint32 {
+// Get returns v's lane-0 value. v must be covered by the batch.
+func (b *ValueBatch) Get(v uint32) uint32 { return b.GetLane(v, 0) }
+
+// Set updates v's lane-0 value in the batch. v must be covered by the
+// batch. Distinct vertices may be Set concurrently.
+func (b *ValueBatch) Set(v uint32, val uint32) { b.SetLane(v, 0, val) }
+
+// GetLane returns v's value in the given lane of a lane-strided array.
+func (b *ValueBatch) GetLane(v uint32, lane int) uint32 {
 	ps := b.vv.dev.PageSize()
-	off := int64(v) * 4
+	off := (int64(v)*int64(b.vv.laneCount()) + int64(lane)) * 4
 	return binary.LittleEndian.Uint32(b.pages[int(off/int64(ps))][off%int64(ps):])
 }
 
-// Set updates v's value in the batch. v must be covered by the batch.
-// Distinct vertices may be Set concurrently.
-func (b *ValueBatch) Set(v uint32, val uint32) {
+// SetLane updates v's value in the given lane. Distinct (vertex, lane)
+// slots may be set concurrently.
+func (b *ValueBatch) SetLane(v uint32, lane int, val uint32) {
 	ps := b.vv.dev.PageSize()
-	off := int64(v) * 4
+	off := (int64(v)*int64(b.vv.laneCount()) + int64(lane)) * 4
 	binary.LittleEndian.PutUint32(b.pages[int(off/int64(ps))][off%int64(ps):], val)
 }
 
@@ -91,21 +104,37 @@ func (b *ValueBatch) Flush() (int, error) {
 // CreateValuesFunc creates a value array of n entries where entry v is
 // init(v). Used by engines to materialize per-vertex initial values.
 func CreateValuesFunc(dev *ssd.Device, name string, n uint32, init func(v uint32) uint32) (*Values, error) {
+	return CreateValuesLanesFunc(dev, name, n, 1, nil, func(v uint32, _ int) uint32 { return init(v) })
+}
+
+// CreateValuesLanesFunc creates a lane-strided value array: lanes slots
+// per vertex, slot (v, lane) initialized to init(v, lane) and laid out
+// v*lanes+lane so vertex ranges stay page-contiguous. A multi-source
+// query batch gives each member query one lane over a single array — one
+// value-file pass serves every query. The creation IO is attributed to sc
+// when non-nil (serving runs charge setup to the issuing query batch).
+func CreateValuesLanesFunc(dev *ssd.Device, name string, n uint32, lanes int, sc *ssd.IOScope, init func(v uint32, lane int) uint32) (*Values, error) {
+	if lanes < 1 {
+		lanes = 1
+	}
 	f, err := dev.OpenOrCreate(name)
 	if err != nil {
 		return nil, err
 	}
+	f = f.Scoped(sc)
 	if err := f.Truncate(); err != nil {
 		return nil, err
 	}
 	w := ssd.NewWriter(f)
 	for v := uint32(0); v < n; v++ {
-		if err := w.WriteU32(init(v)); err != nil {
-			return nil, err
+		for l := 0; l < lanes; l++ {
+			if err := w.WriteU32(init(v, l)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Values{dev: dev, f: f, n: n}, nil
+	return &Values{dev: dev, f: f, n: n, lanes: uint32(lanes)}, nil
 }

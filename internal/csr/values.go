@@ -7,13 +7,40 @@ import (
 	"multilogvc/internal/ssd"
 )
 
-// Values is an on-device array of one uint32 per vertex (vertex values in
-// the vertex-centric model). Engines load and store contiguous ranges —
-// the vertices of the interval being processed — with page-batched IO.
+// Values is an on-device array of vertex values (uint32 slots). The
+// common shape is one slot per vertex; a lane-strided array (see
+// CreateValuesLanesFunc) holds lanes slots per vertex, laid out
+// slot(v, lane) = v*lanes + lane, so the slots of a contiguous vertex
+// range stay contiguous on the device — multi-source query batching pays
+// the same page locality as a single-source run. Engines load and store
+// covering pages with page-batched IO.
 type Values struct {
-	dev *ssd.Device
-	f   *ssd.File
-	n   uint32
+	dev   *ssd.Device
+	f     *ssd.File
+	n     uint32
+	lanes uint32 // slots per vertex; 0 reads as 1 (single-lane)
+}
+
+// laneCount normalizes the zero value to one lane.
+func (vv *Values) laneCount() uint32 {
+	if vv.lanes == 0 {
+		return 1
+	}
+	return vv.lanes
+}
+
+// Lanes returns the number of value slots per vertex.
+func (vv *Values) Lanes() int { return int(vv.laneCount()) }
+
+// slots returns the total slot count (n vertices × lanes).
+func (vv *Values) slots() uint32 { return vv.n * vv.laneCount() }
+
+// Scoped returns a view of the value array whose device IO is attributed
+// to sc (see ssd.IOScope). The underlying data is shared.
+func (vv *Values) Scoped(sc *ssd.IOScope) *Values {
+	w := *vv
+	w.f = vv.f.Scoped(sc)
+	return &w
 }
 
 // CreateValues creates (or resets) a value array of n entries, all
@@ -50,10 +77,12 @@ func OpenValues(dev *ssd.Device, name string, n uint32) (*Values, error) {
 // Len returns the number of entries.
 func (vv *Values) Len() uint32 { return vv.n }
 
-// LoadRange reads values [lo, hi) as one page batch.
+// LoadRange reads value slots [lo, hi) as one page batch. On a
+// single-lane array slots are vertices; on a lane-strided array callers
+// address raw slots (vertex v's lanes occupy [v*lanes, (v+1)*lanes)).
 func (vv *Values) LoadRange(lo, hi uint32) ([]uint32, error) {
-	if lo > hi || hi > vv.n {
-		return nil, fmt.Errorf("csr: value range [%d,%d) out of [0,%d)", lo, hi, vv.n)
+	if lo > hi || hi > vv.slots() {
+		return nil, fmt.Errorf("csr: value range [%d,%d) out of [0,%d)", lo, hi, vv.slots())
 	}
 	if lo == hi {
 		return nil, nil
@@ -80,8 +109,8 @@ func (vv *Values) StoreRange(lo uint32, vals []uint32) error {
 		return nil
 	}
 	hi := lo + uint32(len(vals))
-	if hi > vv.n {
-		return fmt.Errorf("csr: value store [%d,%d) out of [0,%d)", lo, hi, vv.n)
+	if hi > vv.slots() {
+		return fmt.Errorf("csr: value store [%d,%d) out of [0,%d)", lo, hi, vv.slots())
 	}
 	ps := vv.dev.PageSize()
 	bLo, bHi := int64(lo)*4, int64(hi)*4
@@ -106,8 +135,8 @@ func (vv *Values) StoreRange(lo uint32, vals []uint32) error {
 	return vv.f.WritePageRange(pLo, buf)
 }
 
-// LoadAll reads the whole array. Intended for result extraction after a
-// run, not for per-superstep use.
+// LoadAll reads the whole array (every slot of every lane). Intended for
+// result extraction after a run, not for per-superstep use.
 func (vv *Values) LoadAll() ([]uint32, error) {
-	return vv.LoadRange(0, vv.n)
+	return vv.LoadRange(0, vv.slots())
 }

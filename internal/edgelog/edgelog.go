@@ -185,6 +185,20 @@ type EdgeLog struct {
 // A nil tracer (the default) disables tracing.
 func (e *EdgeLog) SetTracer(tr *obsv.Trace) { e.tr = tr }
 
+// SetScope attributes the log's device IO to a per-run ssd.IOScope. Must
+// be called right after New, before any logging: both generation handles
+// are rescoped and the next-generation writer is rebound to its scoped
+// handle while still at offset zero.
+func (e *EdgeLog) SetScope(sc *ssd.IOScope) {
+	if sc == nil {
+		return
+	}
+	for i := range e.files {
+		e.files[i] = e.files[i].Scoped(sc)
+	}
+	e.writer = ssd.NewWriter(e.files[1])
+}
+
 type entry struct {
 	off int64
 	deg uint32

@@ -111,6 +111,7 @@ type Runs struct {
 	dev     *ssd.Device
 	prefix  string
 	combine func(a, b uint32) uint32
+	scope   *ssd.IOScope
 	files   []*ssd.File
 	counts  []uint64
 	st      Stats
@@ -121,6 +122,10 @@ type Runs struct {
 func NewRuns(dev *ssd.Device, prefix string, combine func(a, b uint32) uint32) *Runs {
 	return &Runs{dev: dev, prefix: prefix, combine: combine}
 }
+
+// SetScope attributes run-file IO to a per-run ssd.IOScope. Must be set
+// before the first Flush; run files adopt the scope at creation.
+func (rs *Runs) SetScope(sc *ssd.IOScope) { rs.scope = sc }
 
 // Flush sorts recs and writes them as one run. The slice is sorted in
 // place and may be reused by the caller afterwards. Empty input is a no-op.
@@ -137,6 +142,7 @@ func (rs *Runs) Flush(recs []Record) error {
 	if err != nil {
 		return err
 	}
+	f = f.Scoped(rs.scope)
 	if err := f.Truncate(); err != nil {
 		return err
 	}

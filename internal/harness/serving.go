@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/metrics"
+	"multilogvc/internal/vc"
+)
+
+// Serving-throughput experiment: how much device IO multi-source query
+// batching saves. The daemon (cmd/mlvcd) coalesces K compatible point
+// queries into one lane-batched MultiBFS execution; here we replay that
+// shape deterministically — the same 16 queries answered in executions
+// of batch 1 (sequential singles), 4, and 16 — on an uncached device, so
+// pages-per-query is a pure function of the message flow and CI can gate
+// on it via the benchmark snapshot.
+
+// servingQueries is the fixed query count every batch size must answer.
+const servingQueries = 16
+
+// ServingSources spreads k deterministic query sources across [0, n):
+// the daemon's steady-state mix of near and far sources, reproducible
+// across processes (no RNG).
+func ServingSources(n uint32, k int) []uint32 {
+	out := make([]uint32, k)
+	for i := range out {
+		// Golden-ratio stride scatters sources across intervals without
+		// clustering at the power-law head.
+		out[i] = uint32((uint64(i)*11400714819323198485 + 7) % uint64(n))
+	}
+	return out
+}
+
+// servingProg builds the lane-batched program for a query group; group
+// size 1 uses the plain single-source BFS the daemon's parity contract
+// is defined against.
+func servingProg(group []uint32) vc.Program {
+	if len(group) == 1 {
+		return &apps.BFS{Source: group[0]}
+	}
+	p, err := apps.NewMultiBFS(group)
+	if err != nil {
+		// group sizes are 1..16, well inside MaxLanes; unreachable.
+		panic(err)
+	}
+	return p
+}
+
+// Serving measures pages per query and host-side throughput for the same
+// 16 BFS point queries answered at batch sizes 1, 4, and 16 — the
+// mlvc-bench face of the daemon's batching contract.
+func Serving(size Size) (*metrics.Table, error) {
+	cf, err := CFMini(size)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("serving: %d BFS queries on %s, uncached, by batch size", servingQueries, cf.Name),
+		Headers: []string{"batch", "executions", "pages read/query", "pages written/query", "storage time/query", "qps (host)"},
+	}
+	sources := ServingSources(cf.N, servingQueries)
+	for _, batch := range []int{1, 4, 16} {
+		env, err := Prepare(cf, EnvOptions{CacheMB: -1})
+		if err != nil {
+			return nil, err
+		}
+		var pagesRead, pagesWritten uint64
+		var storage time.Duration
+		start := time.Now()
+		for off := 0; off < servingQueries; off += batch {
+			rep, _, err := RunMLVC(env, servingProg(sources[off:off+batch]), RunOpts{MaxSupersteps: 50})
+			if err != nil {
+				return nil, err
+			}
+			pagesRead += rep.PagesRead
+			pagesWritten += rep.PagesWritten
+			storage += rep.StorageTime
+		}
+		wall := time.Since(start)
+		t.AddRow(
+			fmt.Sprint(batch),
+			fmt.Sprint(servingQueries/batch),
+			fmt.Sprintf("%.1f", float64(pagesRead)/servingQueries),
+			fmt.Sprintf("%.1f", float64(pagesWritten)/servingQueries),
+			metrics.D(storage/servingQueries),
+			fmt.Sprintf("%.1f", float64(servingQueries)/wall.Seconds()),
+		)
+	}
+	return t, nil
+}

@@ -158,6 +158,10 @@ func TakeSnapshot(size Size) (*Snapshot, error) {
 		{cf, func() vc.Program { return &apps.PageRank{} }, RunGraphChi, 0},
 		{cf, func() vc.Program { return &apps.PageRank{} }, RunGraFBoost, 0},
 		{cf, func() vc.Program { return &apps.PageRank{} }, RunMLVC, 8},
+		// The serving daemon's batch-16 shape: uncached lane-batched
+		// MultiBFS, so pages-per-query of the batching fast path is gated
+		// deterministically like any other engine counter.
+		{cf, func() vc.Program { return servingProg(ServingSources(cf.N, servingQueries)) }, RunMLVC, 0},
 	}
 	for _, sp := range specs {
 		env, err := Prepare(sp.ds, EnvOptions{CacheMB: cacheOpt(sp.cacheMB)})

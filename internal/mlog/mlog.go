@@ -60,7 +60,8 @@ type Log struct {
 	consumedMu sync.Mutex
 	consumed   []bool
 
-	tr *obsv.Trace // nil = tracing disabled
+	scope *ssd.IOScope // nil = device-global attribution
+	tr    *obsv.Trace  // nil = tracing disabled
 }
 
 // Device returns the device hosting the log files; Prefix the file-name
@@ -74,6 +75,23 @@ func (l *Log) Prefix() string { return l.prefix }
 // SetTracer attaches a span tracer; evictions and flushes emit spans on
 // it. A nil tracer (the default) disables tracing.
 func (l *Log) SetTracer(tr *obsv.Trace) { l.tr = tr }
+
+// SetScope attributes the log's device IO to a per-run ssd.IOScope.
+// Must be set before the first Append or Read — interval files are
+// created lazily and adopt the scope at creation.
+func (l *Log) SetScope(sc *ssd.IOScope) { l.scope = sc }
+
+// Scope returns the log's IO attribution scope (nil = device-global).
+func (l *Log) Scope() *ssd.IOScope { return l.scope }
+
+// Tagger returns where readers of this log should set the ambient IO
+// stage: the log's scope when one is attached, else the device.
+func (l *Log) Tagger() ssd.Tagger {
+	if l.scope != nil {
+		return l.scope
+	}
+	return l.dev
+}
 
 // New creates a Log with one interval log per interval. prefix names the
 // device files ("<prefix>.<interval>"). budget is the in-memory buffer
@@ -193,6 +211,7 @@ func (l *Log) file(iv int) (*ssd.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		f = f.Scoped(l.scope)
 		// A fresh Log generation must start empty even when the device
 		// file survives from an earlier run.
 		if f.NumPages() > 0 {

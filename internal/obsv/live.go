@@ -51,6 +51,17 @@ type LiveVars struct {
 	Reclaims       *expvar.Int // space-reclamation sweeps run
 	ReclaimedBytes *expvar.Int // bytes freed by those sweeps
 
+	// Serving counters: cumulative across the daemon's lifetime. Zero in
+	// one-shot CLI processes.
+	QueriesServed   *expvar.Int // queries answered successfully
+	QueriesShed     *expvar.Int // queries rejected at admission (queue full, shutdown, expired)
+	QueryDeadlines  *expvar.Int // queries cut by their deadline mid-run
+	QueryErrors     *expvar.Int // queries failed for any other reason
+	BatchesRun      *expvar.Int // engine executions serving those queries
+	BatchedQueries  *expvar.Int // queries that shared an execution with at least one other
+	QueryPagesRead  *expvar.Int // device pages read by query executions (scoped)
+	QueryPagesWrite *expvar.Int // device pages written by query executions (scoped)
+
 	// Per-stage IO maps, keyed by the stable obsv.Stage names: cumulative
 	// device pages each pipeline stage read and wrote across runs in the
 	// process. The OpenMetrics handler exports them as labeled samples
@@ -95,6 +106,15 @@ func Live() *LiveVars {
 			NoSpaceFaults:  expvar.NewInt("mlvc.no_space_faults"),
 			Reclaims:       expvar.NewInt("mlvc.reclaims"),
 			ReclaimedBytes: expvar.NewInt("mlvc.reclaimed_bytes"),
+
+			QueriesServed:   expvar.NewInt("mlvc.queries_served"),
+			QueriesShed:     expvar.NewInt("mlvc.queries_shed"),
+			QueryDeadlines:  expvar.NewInt("mlvc.query_deadlines"),
+			QueryErrors:     expvar.NewInt("mlvc.query_errors"),
+			BatchesRun:      expvar.NewInt("mlvc.batches_run"),
+			BatchedQueries:  expvar.NewInt("mlvc.batched_queries"),
+			QueryPagesRead:  expvar.NewInt("mlvc.query_pages_read"),
+			QueryPagesWrite: expvar.NewInt("mlvc.query_pages_written"),
 
 			StagePagesRead:    expvar.NewMap("mlvc.stage_pages_read"),
 			StagePagesWritten: expvar.NewMap("mlvc.stage_pages_written"),

@@ -56,6 +56,14 @@ var varMeta = map[string]metricMeta{
 	"mlvc.no_space_faults":      {"Writes that hit the disk quota", "counter", ""},
 	"mlvc.reclaims":             {"Space-reclamation sweeps run", "counter", ""},
 	"mlvc.reclaimed_bytes":      {"Bytes freed by reclamation sweeps", "counter", ""},
+	"mlvc.queries_served":       {"Queries answered successfully by the serving daemon", "counter", ""},
+	"mlvc.queries_shed":         {"Queries rejected at admission (queue full, shutdown, expired)", "counter", ""},
+	"mlvc.query_deadlines":      {"Queries cut by their deadline mid-run", "counter", ""},
+	"mlvc.query_errors":         {"Queries failed for any other reason", "counter", ""},
+	"mlvc.batches_run":          {"Engine executions serving queries", "counter", ""},
+	"mlvc.batched_queries":      {"Queries that shared an execution with at least one other", "counter", ""},
+	"mlvc.query_pages_read":     {"Device pages read by query executions (per-query scoped)", "counter", ""},
+	"mlvc.query_pages_written":  {"Device pages written by query executions (per-query scoped)", "counter", ""},
 	"mlvc.stage_pages_read":     {"Cumulative device pages read, by pipeline stage", "counter", "stage"},
 	"mlvc.stage_pages_written":  {"Cumulative device pages written, by pipeline stage", "counter", "stage"},
 }

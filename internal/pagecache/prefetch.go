@@ -291,7 +291,7 @@ func (p *Prefetcher) runJob(gen, epoch uint64, j Job) {
 	}
 
 	if j.File != nil && len(j.Pages) > 0 {
-		warmed, err := j.File.WarmPages(j.Pages, j.Pin)
+		warmed, pinnedPages, err := j.File.WarmPages(j.Pages, j.Pin)
 		p.mu.Lock()
 		p.stats.PagesWarmed += uint64(len(warmed))
 		if err != nil {
@@ -301,8 +301,12 @@ func (p *Prefetcher) runJob(gen, epoch uint64, j Job) {
 			}
 		}
 		p.mu.Unlock()
-		if j.Pin && len(warmed) > 0 {
-			p.recordPins(epoch, j.File, warmed)
+		// Record only the pins that actually landed: a warmed page whose
+		// pin lost the race to an eviction must not be unpinned at epoch
+		// release, or the release would strip a pin a concurrent run took
+		// on the re-inserted frame.
+		if j.Pin && len(pinnedPages) > 0 {
+			p.recordPins(epoch, j.File, pinnedPages)
 		}
 		if err != nil {
 			return

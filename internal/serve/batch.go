@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/core"
+	"multilogvc/internal/obsv"
+	"multilogvc/internal/pagecache"
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/vc"
+)
+
+// pointQuery is one admitted point query waiting for (a share of) an
+// engine execution.
+type pointQuery struct {
+	source   uint32
+	deadline time.Time
+	done     chan pointResult // buffered(1); runBatch never blocks on it
+}
+
+// pointResult is what one query gets back from its batch.
+type pointResult struct {
+	values       []uint32 // this lane's per-vertex distances (Inf = unreached)
+	batchSize    int
+	supersteps   int
+	pagesRead    uint64 // the whole batch's scoped device reads
+	pagesWritten uint64
+	err          error
+}
+
+// batcher coalesces compatible point queries of one app kind. The first
+// query to arrive opens a window (Options.BatchWindow); companions
+// arriving inside it join the same lane-batched execution. A full batch
+// (Options.MaxBatch) flushes early.
+type batcher struct {
+	s    *Server
+	kind string // "bfs" or "sssp"
+
+	mu      sync.Mutex
+	pending []*pointQuery
+	timer   *time.Timer
+}
+
+func newBatcher(s *Server, kind string) *batcher {
+	return &batcher{s: s, kind: kind}
+}
+
+// enqueue admits q into the current window, flushing when the batch
+// fills. Returns an error only when the server is draining.
+func (b *batcher) enqueue(q *pointQuery) error {
+	b.mu.Lock()
+	if b.s.closed.Load() {
+		b.mu.Unlock()
+		return fmt.Errorf("serve: shutting down")
+	}
+	b.pending = append(b.pending, q)
+	if len(b.pending) >= b.s.opts.MaxBatch {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.launch(batch)
+		return nil
+	}
+	if len(b.pending) == 1 {
+		b.timer = time.AfterFunc(b.s.opts.BatchWindow, b.flushNow)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// flushNow closes the current window and launches whatever is pending.
+// Also called on server Close to drain without waiting for the timer.
+func (b *batcher) flushNow() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.launch(batch)
+}
+
+// takeLocked detaches the pending batch; the caller holds b.mu.
+func (b *batcher) takeLocked() []*pointQuery {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+func (b *batcher) launch(batch []*pointQuery) {
+	if len(batch) == 0 {
+		return
+	}
+	b.s.wg.Add(1)
+	go b.runBatch(batch)
+}
+
+// runBatch executes one lane-batched engine run for batch and fans the
+// per-lane results back out. The batch's context deadline is the LATEST
+// member deadline: a member whose own deadline passes while a
+// longer-deadline companion keeps the run alive still gets its result
+// ("late but computed" beats recomputing), while a batch whose every
+// member expired is cut and everyone gets a classified deadline error.
+func (b *batcher) runBatch(batch []*pointQuery) {
+	defer b.s.wg.Done()
+
+	// One execution slot from the admission semaphore.
+	b.s.sem <- struct{}{}
+	defer func() { <-b.s.sem }()
+
+	sources := make([]uint32, len(batch))
+	latest := batch[0].deadline
+	for i, q := range batch {
+		sources[i] = q.source
+		if q.deadline.After(latest) {
+			latest = q.deadline
+		}
+	}
+
+	var prog vc.Program
+	var err error
+	switch b.kind {
+	case "bfs":
+		prog, err = apps.NewMultiBFS(sources)
+	case "sssp":
+		prog, err = apps.NewMultiSSSP(sources)
+	default:
+		err = fmt.Errorf("serve: unknown batch kind %q", b.kind)
+	}
+	if err != nil {
+		b.fail(batch, err)
+		return
+	}
+
+	sc := ssd.NewScope()
+	cfg := core.Config{
+		MemoryBudget:  b.s.opts.MemoryBudget,
+		MaxSupersteps: b.s.opts.MaxSupersteps,
+		Cache:         b.s.opts.Cache,
+		RunTag:        fmt.Sprintf("q%d", b.s.runSeq.Add(1)),
+		Ephemeral:     true,
+		Scope:         sc,
+	}
+	if cfg.Cache != nil {
+		pf := pagecache.NewPrefetcher(8)
+		defer pf.Close()
+		cfg.Prefetcher = pf
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), latest)
+	defer cancel()
+	res, err := core.New(b.s.g, cfg).RunCtx(ctx, prog)
+
+	live := obsv.Live()
+	live.BatchesRun.Add(1)
+	if len(batch) > 1 {
+		live.BatchedQueries.Add(int64(len(batch)))
+	}
+	st := sc.Stats()
+	live.QueryPagesRead.Add(int64(st.PagesRead))
+	live.QueryPagesWrite.Add(int64(st.PagesWritten))
+
+	if err != nil {
+		b.fail(batch, err)
+		return
+	}
+	for i, q := range batch {
+		q.done <- pointResult{
+			values:       apps.LaneResult(res.Values, len(batch), i),
+			batchSize:    len(batch),
+			supersteps:   len(res.Report.Supersteps),
+			pagesRead:    st.PagesRead,
+			pagesWritten: st.PagesWritten,
+		}
+	}
+}
+
+func (b *batcher) fail(batch []*pointQuery, err error) {
+	for _, q := range batch {
+		q.done <- pointResult{err: err, batchSize: len(batch)}
+	}
+}

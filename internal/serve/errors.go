@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"multilogvc/internal/core"
+	"multilogvc/internal/ssd"
+)
+
+// Every error a query can die of leaves as structured JSON —
+// {"error":{"code":"...","message":"..."}} — with an HTTP status that
+// mirrors cmd/mlvc's exit-code families, so a load balancer or client
+// can react per class (retry later vs give up vs page an operator)
+// without parsing prose.
+//
+//	deadline       504  query or batch deadline expired (retry with a longer one)
+//	overloaded     503  admission queue full (back off and retry)
+//	shutting_down  503  server draining (retry against a peer)
+//	no_space       507  device quota held even after reclamation
+//	device_fault   500  transient retries exhausted
+//	corrupt        500  data failed checksum beyond recovery
+//	bad_request    400  malformed query
+//	internal       500  anything else
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// classify maps an execution error to its (code, HTTP status) family.
+func classify(err error) (string, int) {
+	switch {
+	case errors.Is(err, core.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return "deadline", http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrInterrupted):
+		return "shutting_down", http.StatusServiceUnavailable
+	case errors.Is(err, ssd.ErrNoSpace):
+		return "no_space", http.StatusInsufficientStorage
+	case errors.Is(err, ssd.ErrRetriesExhausted):
+		return "device_fault", http.StatusInternalServerError
+	case errors.Is(err, core.ErrCorruptData), errors.Is(err, ssd.ErrCorruptPage):
+		return "corrupt", http.StatusInternalServerError
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,344 @@
+// Package serve is the query-serving daemon behind cmd/mlvcd: one
+// resident graph, one device and page cache, many concurrent point
+// queries. It is the serving counterpart of the one-shot CLI — the shape
+// the paper's motivation (§VII, concurrent analytics on one flash
+// device) implies but never builds.
+//
+// Three mechanisms carry the design:
+//
+//   - Multi-source batching: compatible point queries (same app) that
+//     arrive within a short window coalesce into ONE lane-batched engine
+//     execution (apps.MultiBFS / apps.MultiSSSP), so K queued BFS
+//     queries cost one pass over the logs instead of K. Per-lane results
+//     are bit-identical to K individual runs — batching is invisible to
+//     callers except in latency and shared IO.
+//
+//   - Isolation: every execution gets its own RunTag scratch namespace,
+//     an Ephemeral config (scratch removed even on failure), and an
+//     ssd.IOScope so its page traffic is attributed to the query rather
+//     than smeared device-wide.
+//
+//   - Admission control: a concurrency semaphore bounds simultaneous
+//     engine executions, a queue cap sheds excess load with structured
+//     503s, per-query deadlines become context deadlines on the batch
+//     (expired-on-arrival queries are shed with 504 before costing IO),
+//     and device-quota exhaustion surfaces as 507 — the serving face of
+//     PR 5's resource governance.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/csr"
+	"multilogvc/internal/obsv"
+	"multilogvc/internal/pagecache"
+	"multilogvc/internal/ssd"
+)
+
+// Options configures a Server. Graph is required; everything else has a
+// serving-sane default.
+type Options struct {
+	// Graph is the resident graph every query runs against.
+	Graph *csr.Graph
+	// Cache is the shared page cache attached to the graph's device
+	// (nil = uncached serving; every query pays device reads).
+	Cache *pagecache.Cache
+	// BatchWindow is how long the first query of a batch waits for
+	// companions before the batch executes. Defaults to 2ms.
+	BatchWindow time.Duration
+	// MaxBatch caps queries per execution; defaults to 16, clamped to
+	// apps.MaxLanes (the packed-message format's limit).
+	MaxBatch int
+	// MaxConcurrent bounds simultaneous engine executions; defaults to 2.
+	MaxConcurrent int
+	// MaxQueue caps queries admitted but not yet executing; beyond it
+	// requests are shed with 503. Defaults to 64.
+	MaxQueue int
+	// DefaultDeadline applies when a query names none. Defaults to 30s.
+	DefaultDeadline time.Duration
+	// MaxSupersteps bounds each execution; defaults to 100.
+	MaxSupersteps int
+	// MemoryBudget is the per-execution engine budget; 0 keeps the
+	// engine default (64 MiB).
+	MemoryBudget int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxBatch > apps.MaxLanes {
+		o.MaxBatch = apps.MaxLanes
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 30 * time.Second
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 100
+	}
+	return o
+}
+
+// Server is the query daemon: an http.Handler plus the batching and
+// admission machinery behind it. Create with New, mount anywhere (or let
+// cmd/mlvcd listen), and Close for a graceful drain.
+type Server struct {
+	opts Options
+	g    *csr.Graph
+	dev  *ssd.Device
+	mux  *http.ServeMux
+
+	sem    chan struct{} // MaxConcurrent execution slots
+	runSeq atomic.Uint64 // RunTag sequence: q1, q2, ...
+	queued atomic.Int64  // admitted-not-finished queries, vs MaxQueue
+	closed atomic.Bool   // shutting down: shed new queries
+	wg     sync.WaitGroup
+
+	bfs  *batcher
+	sssp *batcher
+}
+
+// New builds a Server over a resident graph.
+func New(opts Options) (*Server, error) {
+	if opts.Graph == nil {
+		return nil, fmt.Errorf("serve: Options.Graph is required")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		g:    opts.Graph,
+		dev:  opts.Graph.Device(),
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+	}
+	s.bfs = newBatcher(s, "bfs")
+	s.sssp = newBatcher(s, "sssp")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/bfs", func(w http.ResponseWriter, r *http.Request) { s.handlePoint(w, r, s.bfs) })
+	mux.HandleFunc("/query/sssp", func(w http.ResponseWriter, r *http.Request) { s.handlePoint(w, r, s.sssp) })
+	mux.HandleFunc("/walk", s.handleWalk)
+	mux.HandleFunc("/graph", s.handleGraph)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", obsv.MetricsHandler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
+			return
+		}
+		fmt.Fprintln(w, "mlvcd: POST /query/bfs /query/sssp /walk; GET /graph /stats /metrics /debug/vars")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the server: new queries are shed with 503, queued batches
+// flush immediately, and Close returns once every in-flight execution has
+// finished.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.bfs.flushNow()
+	s.sssp.flushNow()
+	s.wg.Wait()
+}
+
+// pointRequest is the JSON body of POST /query/bfs and /query/sssp.
+type pointRequest struct {
+	// Source is the query's start vertex.
+	Source uint32 `json:"source"`
+	// DeadlineMS bounds the query end-to-end; 0 uses the server default.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Targets asks for the distances of specific vertices.
+	Targets []uint32 `json:"targets,omitempty"`
+	// Values asks for the full per-vertex distance array (tests and
+	// small graphs; large graphs should use Targets).
+	Values bool `json:"values,omitempty"`
+}
+
+// pointResponse is the JSON reply of a successful point query.
+type pointResponse struct {
+	App        string `json:"app"`
+	Source     uint32 `json:"source"`
+	BatchSize  int    `json:"batch_size"`
+	Supersteps int    `json:"supersteps"`
+	// Reached counts vertices with a finite distance (source included).
+	Reached uint64 `json:"reached"`
+	// BatchPagesRead/Written is the batch's scoped device IO, shared by
+	// all BatchSize members — the per-query cost is this divided by the
+	// batch size, which is the entire point of batching.
+	BatchPagesRead    uint64            `json:"batch_pages_read"`
+	BatchPagesWritten uint64            `json:"batch_pages_written"`
+	Dist              map[string]uint32 `json:"dist,omitempty"`
+	AllValues         []uint32          `json:"all_values,omitempty"`
+}
+
+// handlePoint admits one point query into b's batching window and waits
+// for its lane result.
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, b *batcher) {
+	live := obsv.Live()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required")
+		return
+	}
+	var req pointRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	n := s.g.NumVertices()
+	if req.Source >= n {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("source %d out of range (graph has %d vertices)", req.Source, n))
+		return
+	}
+	for _, t := range req.Targets {
+		if t >= n {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("target %d out of range (graph has %d vertices)", t, n))
+			return
+		}
+	}
+	if s.closed.Load() {
+		live.QueriesShed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+		return
+	}
+	deadline := time.Now().Add(s.opts.DefaultDeadline)
+	if req.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	if !deadline.After(time.Now()) {
+		live.QueriesShed.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline", "deadline expired before admission")
+		return
+	}
+	if s.queued.Add(1) > int64(s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		live.QueriesShed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "overloaded",
+			fmt.Sprintf("query queue full (%d)", s.opts.MaxQueue))
+		return
+	}
+	defer s.queued.Add(-1)
+
+	q := &pointQuery{source: req.Source, deadline: deadline, done: make(chan pointResult, 1)}
+	if err := b.enqueue(q); err != nil {
+		live.QueriesShed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+		return
+	}
+
+	select {
+	case <-r.Context().Done():
+		// Client gone; the batch still runs (its companions want it) and
+		// the buffered done channel absorbs the orphaned result.
+		return
+	case res := <-q.done:
+		if res.err != nil {
+			code, status := classify(res.err)
+			switch code {
+			case "deadline":
+				live.QueryDeadlines.Add(1)
+			case "shutting_down":
+				live.QueriesShed.Add(1)
+			default:
+				live.QueryErrors.Add(1)
+			}
+			writeError(w, status, code, res.err.Error())
+			return
+		}
+		live.QueriesServed.Add(1)
+		resp := pointResponse{
+			App:               b.kind,
+			Source:            req.Source,
+			BatchSize:         res.batchSize,
+			Supersteps:        res.supersteps,
+			BatchPagesRead:    res.pagesRead,
+			BatchPagesWritten: res.pagesWritten,
+		}
+		for _, d := range res.values {
+			if d != apps.Inf {
+				resp.Reached++
+			}
+		}
+		if len(req.Targets) > 0 {
+			resp.Dist = make(map[string]uint32, len(req.Targets))
+			for _, t := range req.Targets {
+				resp.Dist[fmt.Sprint(t)] = res.values[t]
+			}
+		}
+		if req.Values {
+			resp.AllValues = res.values
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleGraph reports the resident graph's shape.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name":           s.g.Name(),
+		"vertices":       s.g.NumVertices(),
+		"edges":          s.g.NumEdges(),
+		"intervals":      len(s.g.Intervals()),
+		"weighted":       s.g.HasWeights(),
+		"max_out_degree": s.g.MaxOutDegree(),
+		"page_size":      s.dev.PageSize(),
+	})
+}
+
+// handleStats reports device totals plus the serving counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	live := obsv.Live()
+	st := s.dev.Stats()
+	out := map[string]interface{}{
+		"device": map[string]uint64{
+			"pages_read":    st.PagesRead,
+			"pages_written": st.PagesWritten,
+		},
+		"serving": map[string]int64{
+			"queries_served":      live.QueriesServed.Value(),
+			"queries_shed":        live.QueriesShed.Value(),
+			"query_deadlines":     live.QueryDeadlines.Value(),
+			"query_errors":        live.QueryErrors.Value(),
+			"batches_run":         live.BatchesRun.Value(),
+			"batched_queries":     live.BatchedQueries.Value(),
+			"query_pages_read":    live.QueryPagesRead.Value(),
+			"query_pages_written": live.QueryPagesWrite.Value(),
+		},
+		"queued":         s.queued.Load(),
+		"max_concurrent": s.opts.MaxConcurrent,
+	}
+	if s.opts.Cache != nil {
+		out["cache_pinned_pages"] = s.opts.Cache.PinnedPages()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

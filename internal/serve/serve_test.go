@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"multilogvc/internal/apps"
+	"multilogvc/internal/core"
+	"multilogvc/internal/csr"
+	"multilogvc/internal/gen"
+	"multilogvc/internal/pagecache"
+	"multilogvc/internal/ssd"
+)
+
+// fixture builds a small resident rmat graph on a fresh in-memory device.
+func fixture(t *testing.T, seed int64) *csr.Graph {
+	t.Helper()
+	edges, err := gen.RMAT(gen.DefaultRMAT(9, 8, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := ssd.MustOpen(ssd.Config{PageSize: 512, Channels: 4})
+	g, err := csr.Build(dev, "g", edges, csr.BuildOptions{NumVertices: 1 << 9, IntervalBudget: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// single runs the reference single-source program sequentially.
+func single(t *testing.T, g *csr.Graph, kind string, src uint32) []uint32 {
+	t.Helper()
+	var res *core.Result
+	var err error
+	if kind == "bfs" {
+		res, err = core.New(g, core.Config{MaxSupersteps: 100}).Run(&apps.BFS{Source: src})
+	} else {
+		res, err = core.New(g, core.Config{MaxSupersteps: 100}).Run(&apps.SSSP{Source: src})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Values
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var e errorBody
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("not an error body: %s", data)
+	}
+	return e.Error.Code
+}
+
+// TestServeBatchingParity drives K concurrent BFS queries through the
+// HTTP API inside one batching window and asserts each client's full
+// value array is bit-identical to its own sequential single-source run —
+// the daemon's batching contract, verified end to end.
+func TestServeBatchingParity(t *testing.T) {
+	g := fixture(t, 21)
+	sources := []uint32{3, 7, 100, 400}
+	want := make([][]uint32, len(sources))
+	for i, src := range sources {
+		want[i] = single(t, g, "bfs", src)
+	}
+
+	s, err := New(Options{Graph: g, BatchWindow: 100 * time.Millisecond, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	type reply struct {
+		resp pointResponse
+		code int
+	}
+	replies := make([]reply, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src uint32) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/query/bfs",
+				pointRequest{Source: src, Values: true, DeadlineMS: 30_000})
+			replies[i].code = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				if err := json.Unmarshal(data, &replies[i].resp); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i, src)
+	}
+	wg.Wait()
+
+	for i := range sources {
+		r := replies[i]
+		if r.code != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, r.code)
+		}
+		if len(r.resp.AllValues) != len(want[i]) {
+			t.Fatalf("query %d: %d values, want %d", i, len(r.resp.AllValues), len(want[i]))
+		}
+		for v := range want[i] {
+			if r.resp.AllValues[v] != want[i][v] {
+				t.Fatalf("query %d vertex %d: served %d != sequential %d",
+					i, v, r.resp.AllValues[v], want[i][v])
+			}
+		}
+	}
+	// All four arrived inside one window: they must have shared a batch.
+	for i := range sources {
+		if replies[i].resp.BatchSize != len(sources) {
+			t.Fatalf("query %d ran in a batch of %d, want %d", i, replies[i].resp.BatchSize, len(sources))
+		}
+	}
+}
+
+// TestServeSSSPTargets checks the targets projection against a
+// sequential SSSP run.
+func TestServeSSSPTargets(t *testing.T) {
+	g := fixture(t, 5)
+	want := single(t, g, "sssp", 9)
+
+	s, err := New(Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	targets := []uint32{0, 9, 77, 500}
+	resp, data := postJSON(t, ts.URL+"/query/sssp",
+		pointRequest{Source: 9, Targets: targets, DeadlineMS: 30_000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var pr pointResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	for _, tv := range targets {
+		if got := pr.Dist[fmt.Sprint(tv)]; got != want[tv] {
+			t.Fatalf("target %d: served %d != sequential %d", tv, got, want[tv])
+		}
+	}
+	if pr.AllValues != nil {
+		t.Fatal("full values returned without being requested")
+	}
+}
+
+// TestServeDeadlineShedClean is the governance contract: a query whose
+// deadline expires mid-batch gets a classified 504, leaves zero pinned
+// cache pages and zero scratch files, and the very next query computes
+// correctly — a shed query must not poison the shared state.
+func TestServeDeadlineShedClean(t *testing.T) {
+	g := fixture(t, 33)
+	dev := g.Device()
+	cache := pagecache.NewSharded(128, dev.PageSize(), 4)
+	dev.AttachCache(cache)
+	want := single(t, g, "bfs", 12)
+
+	// The batching window (50ms) alone outlives the 1ms deadline, so by
+	// flush time the batch context is already expired: the engine sheds
+	// at its first boundary check, classified as a deadline.
+	s, err := New(Options{Graph: g, Cache: cache, BatchWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 12, DeadlineMS: 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	if code := errCode(t, data); code != "deadline" {
+		t.Fatalf("error code %q, want deadline", code)
+	}
+
+	if p := cache.PinnedPages(); p != 0 {
+		t.Fatalf("%d pages left pinned by the shed query", p)
+	}
+	for _, name := range dev.ListFiles() {
+		if strings.HasPrefix(name, "g.q") {
+			t.Fatalf("shed query left scratch file %q", name)
+		}
+	}
+
+	// The daemon must still serve correct results afterwards.
+	resp, data = postJSON(t, ts.URL+"/query/bfs",
+		pointRequest{Source: 12, Values: true, DeadlineMS: 30_000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status %d: %s", resp.StatusCode, data)
+	}
+	var pr pointResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if pr.AllValues[v] != want[v] {
+			t.Fatalf("follow-up vertex %d: %d != %d", v, pr.AllValues[v], want[v])
+		}
+	}
+	if p := cache.PinnedPages(); p != 0 {
+		t.Fatalf("%d pages left pinned after follow-up", p)
+	}
+}
+
+// TestServeAdmission covers the structured-rejection paths: malformed
+// queries, out-of-range sources, queue overflow, and draining.
+func TestServeAdmission(t *testing.T) {
+	g := fixture(t, 44)
+	s, err := New(Options{Graph: g, BatchWindow: 200 * time.Millisecond, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 1 << 20})
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != "bad_request" {
+		t.Fatalf("out-of-range source: status %d code %s", resp.StatusCode, data)
+	}
+	resp, _ = http.Post(ts.URL+"/query/bfs", "application/json", strings.NewReader("{nope"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Expired before admission: shed as a deadline without costing IO.
+	resp, data = postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 1, DeadlineMS: -1})
+	if resp.StatusCode != http.StatusOK { // -1 means "use default", not expired
+		t.Fatalf("negative deadline should fall back to default: %d %s", resp.StatusCode, data)
+	}
+
+	// Queue overflow: with MaxQueue=1 and a long batching window, a
+	// first query parks in the window and the second is shed.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 2, DeadlineMS: 30_000})
+	}()
+	time.Sleep(30 * time.Millisecond) // let the first query enter the window
+	resp, data = postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 3})
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, data) != "overloaded" {
+		t.Fatalf("overflow: status %d body %s", resp.StatusCode, data)
+	}
+	<-done
+
+	// Draining: queries after Close are shed with shutting_down.
+	s.Close()
+	resp, data = postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, data) != "shutting_down" {
+		t.Fatalf("draining: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeConcurrentMixed hammers the daemon with concurrent BFS and
+// SSSP queries across several batches — under -race this is the shared
+// cache/device/scope interference audit at the HTTP layer.
+func TestServeConcurrentMixed(t *testing.T) {
+	g := fixture(t, 55)
+	dev := g.Device()
+	cache := pagecache.NewSharded(128, dev.PageSize(), 4)
+	dev.AttachCache(cache)
+
+	kinds := []string{"bfs", "sssp", "bfs", "sssp", "bfs", "bfs", "sssp", "bfs"}
+	sources := []uint32{1, 1, 42, 42, 300, 77, 300, 5}
+	want := make([][]uint32, len(kinds))
+	for i := range kinds {
+		want[i] = single(t, g, kinds[i], sources[i])
+	}
+
+	s, err := New(Options{
+		Graph: g, Cache: cache,
+		BatchWindow: 20 * time.Millisecond, MaxBatch: 4, MaxConcurrent: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := range kinds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/query/"+kinds[i],
+				pointRequest{Source: sources[i], Values: true, DeadlineMS: 60_000})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("query %d: status %d: %s", i, resp.StatusCode, data)
+				return
+			}
+			var pr pointResponse
+			if err := json.Unmarshal(data, &pr); err != nil {
+				t.Error(err)
+				return
+			}
+			for v := range want[i] {
+				if pr.AllValues[v] != want[i][v] {
+					t.Errorf("query %d (%s from %d) vertex %d: %d != %d",
+						i, kinds[i], sources[i], v, pr.AllValues[v], want[i][v])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if p := cache.PinnedPages(); p != 0 {
+		t.Fatalf("%d pages left pinned after the storm", p)
+	}
+	for _, name := range dev.ListFiles() {
+		if strings.HasPrefix(name, "g.q") {
+			t.Fatalf("scratch file %q survived", name)
+		}
+	}
+}
+
+// TestServeWalkDeterministic checks that walk batches are reproducible
+// and structurally valid.
+func TestServeWalkDeterministic(t *testing.T) {
+	g := fixture(t, 66)
+	s, err := New(Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := walkRequest{Source: 3, Walks: 4, Length: 8, Seed: 99}
+	var got [2]walkResponse
+	for i := 0; i < 2; i++ {
+		resp, data := postJSON(t, ts.URL+"/walk", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got[0].Paths) != 4 {
+		t.Fatalf("%d paths, want 4", len(got[0].Paths))
+	}
+	for wi, p := range got[0].Paths {
+		if p[0] != 3 {
+			t.Fatalf("walk %d starts at %d, want 3", wi, p[0])
+		}
+		if len(p) > 9 {
+			t.Fatalf("walk %d has %d hops, cap is 8", wi, len(p)-1)
+		}
+		other := got[1].Paths[wi]
+		if len(p) != len(other) {
+			t.Fatalf("walk %d not deterministic: lengths %d vs %d", wi, len(p), len(other))
+		}
+		for j := range p {
+			if p[j] != other[j] {
+				t.Fatalf("walk %d hop %d: %d vs %d", wi, j, p[j], other[j])
+			}
+		}
+	}
+
+	resp, data := postJSON(t, ts.URL+"/walk", walkRequest{Source: 3, Walks: 1000})
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != "bad_request" {
+		t.Fatalf("oversized walk batch: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeIntrospection covers /graph and /stats.
+func TestServeIntrospection(t *testing.T) {
+	g := fixture(t, 77)
+	s, err := New(Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Name     string `json:"name"`
+		Vertices uint32 `json:"vertices"`
+		Edges    uint64 `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Name != "g" || info.Vertices != g.NumVertices() || info.Edges != g.NumEdges() {
+		t.Fatalf("graph info mismatch: %+v", info)
+	}
+
+	// One served query, then /stats must reflect scoped query IO.
+	if resp, data := postJSON(t, ts.URL+"/query/bfs", pointRequest{Source: 2}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, data)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Serving map[string]int64 `json:"serving"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Serving["batches_run"] < 1 {
+		t.Fatalf("batches_run = %d, want >= 1", stats.Serving["batches_run"])
+	}
+	if stats.Serving["query_pages_read"] < 1 {
+		t.Fatalf("query_pages_read = %d, want >= 1", stats.Serving["query_pages_read"])
+	}
+}

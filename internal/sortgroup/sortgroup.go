@@ -56,7 +56,7 @@ type Batch struct {
 type spillState struct {
 	runs       *extsort.Runs
 	m          *extsort.Merger
-	dev        *ssd.Device // for tagging merge reads as StageSpill
+	tag        ssd.Tagger // for tagging merge reads as StageSpill
 	budgetRecs int
 	next       extsort.Record // lookahead across the chunk boundary
 	have       bool
@@ -118,15 +118,15 @@ func Load(log *mlog.Log, ivs []csr.Interval, startIv int, opts Options) (*Batch,
 		Hi:      ivs[last].Hi,
 		Recs:    make([]Rec, 0, total/mlog.RecordBytes),
 	}
-	dev := log.Device()
+	tag := log.Tagger()
 	for iv := startIv; iv <= last; iv++ {
 		// Tag per fused interval so interval-level IO skew attributes log
 		// read-back to the interval that produced it.
-		prevS, prevIv := dev.SetStage(obsv.StageSortGroup, iv)
+		prevS, prevIv := tag.SetStage(obsv.StageSortGroup, iv)
 		err := log.Read(iv, func(dst, src, data uint32) {
 			b.Recs = append(b.Recs, Rec{Dst: dst, Src: src, Data: data})
 		})
-		dev.SetStage(prevS, prevIv)
+		tag.SetStage(prevS, prevIv)
 		if err != nil {
 			return nil, err
 		}
@@ -144,36 +144,37 @@ func loadSpilled(log *mlog.Log, iv csr.Interval, ivIdx int, budget int64) (*Batc
 	if budgetRecs < 1 {
 		budgetRecs = 1
 	}
-	dev := log.Device()
-	runs := extsort.NewRuns(dev, fmt.Sprintf("%s.%d.spill", log.Prefix(), ivIdx), nil)
+	tag := log.Tagger()
+	runs := extsort.NewRuns(log.Device(), fmt.Sprintf("%s.%d.spill", log.Prefix(), ivIdx), nil)
+	runs.SetScope(log.Scope())
 	buf := make([]extsort.Record, 0, budgetRecs)
 	var flushErr error
 	// Log read-back is sort+group work on this interval; the run-file
 	// writes it triggers are spill traffic. The tag flips around each
 	// flush so the two phases stay separable in the per-stage breakdown.
-	prevS, prevIv := dev.SetStage(obsv.StageSortGroup, ivIdx)
+	prevS, prevIv := tag.SetStage(obsv.StageSortGroup, ivIdx)
 	err := log.Read(ivIdx, func(dst, src, data uint32) {
 		if flushErr != nil {
 			return
 		}
 		buf = append(buf, extsort.Record{Dst: dst, Src: src, Data: data})
 		if len(buf) >= budgetRecs {
-			dev.SetStage(obsv.StageSpill, ivIdx)
+			tag.SetStage(obsv.StageSpill, ivIdx)
 			flushErr = runs.Flush(buf)
-			dev.SetStage(obsv.StageSortGroup, ivIdx)
+			tag.SetStage(obsv.StageSortGroup, ivIdx)
 			buf = buf[:0]
 		}
 	})
 	if err != nil {
-		dev.SetStage(prevS, prevIv)
+		tag.SetStage(prevS, prevIv)
 		runs.Remove()
 		return nil, err
 	}
-	dev.SetStage(obsv.StageSpill, ivIdx)
+	tag.SetStage(obsv.StageSpill, ivIdx)
 	if flushErr == nil {
 		flushErr = runs.Flush(buf)
 	}
-	dev.SetStage(prevS, prevIv)
+	tag.SetStage(prevS, prevIv)
 	if flushErr != nil {
 		runs.Remove()
 		return nil, flushErr
@@ -184,15 +185,15 @@ func loadSpilled(log *mlog.Log, iv csr.Interval, ivIdx int, budget int64) (*Batc
 		Lo: iv.Lo, Hi: iv.Hi,
 		Spilled: true,
 		spill: &spillState{
-			runs: runs, dev: dev, budgetRecs: budgetRecs,
+			runs: runs, tag: tag, budgetRecs: budgetRecs,
 			ivHi: iv.Hi, nextLo: iv.Lo,
 			bytes: runs.BytesWritten(),
 		},
 	}
-	prevS, prevIv = dev.SetStage(obsv.StageSpill, ivIdx)
+	prevS, prevIv = tag.SetStage(obsv.StageSpill, ivIdx)
 	b.spill.m = runs.Merge()
 	r, ok, err := b.spill.m.Next()
-	dev.SetStage(prevS, prevIv)
+	tag.SetStage(prevS, prevIv)
 	if err != nil {
 		b.Close()
 		return nil, err
@@ -215,8 +216,8 @@ func (b *Batch) fillChunk() error {
 	s := b.spill
 	// Merge reads pull run pages back from the device: spill traffic,
 	// attributed to the owning interval.
-	prevS, prevIv := s.dev.SetStage(obsv.StageSpill, b.FirstIv)
-	defer s.dev.SetStage(prevS, prevIv)
+	prevS, prevIv := s.tag.SetStage(obsv.StageSpill, b.FirstIv)
+	defer s.tag.SetStage(prevS, prevIv)
 	b.Recs = b.Recs[:0]
 	b.Lo = s.nextLo
 	b.Hi = s.ivHi

@@ -31,29 +31,29 @@ func (f *File) readPagesCached(pages []int, dst []byte, st obsv.Stage) error {
 			missAt = append(missAt, i)
 		}
 	}
-	f.dev.noteCache(len(pages)-len(miss), len(miss), st)
+	f.dev.noteCache(len(pages)-len(miss), len(miss), st, f.scope)
 	if len(miss) == 0 {
 		return nil
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	np := f.store.numPages()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
 	for k, p := range miss {
 		if p < 0 || p >= np {
-			f.mu.Unlock()
+			f.s.mu.Unlock()
 			return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, p, f.name, np)
 		}
 		i := missAt[k]
 		if err := f.readPageLocked(p, dst[i*ps:(i+1)*ps]); err != nil {
-			f.mu.Unlock()
+			f.s.mu.Unlock()
 			return err
 		}
 	}
-	f.mu.Unlock()
-	f.pagesRead.Add(uint64(len(miss)))
-	f.dev.chargeReadStage(len(miss), maxPerChannel(f.chanBase, f.dev.cfg.Channels, miss), st)
+	f.s.mu.Unlock()
+	f.s.pagesRead.Add(uint64(len(miss)))
+	f.dev.chargeReadStage(len(miss), maxPerChannel(f.chanBase, f.dev.cfg.Channels, miss), st, f.scope)
 	for k, p := range miss {
 		i := missAt[k]
 		c.Put(f.id, p, dst[i*ps:(i+1)*ps], false)
@@ -62,17 +62,22 @@ func (f *File) readPagesCached(pages []int, dst []byte, st obsv.Stage) error {
 }
 
 // WarmPages fetches the listed pages into the cache as prefetched (cold)
-// pages, optionally pinning them, and returns the pages it actually
-// fetched and inserted. Already-resident and out-of-range pages are
-// skipped; an insert refused by backpressure stops the job, since a shard
-// too hot for one page is too hot for the rest. Only fetched pages are
-// charged to the virtual clock. It is a no-op without an attached cache.
-func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
+// pages, optionally pinning them. It returns the pages it actually fetched
+// and inserted, and — when pin is set — the subset it successfully pinned.
+// The two can differ under concurrency: on a shared cache another run's
+// demand traffic can evict a just-inserted page before the pin lands, and
+// treating such a page as pinned would later release a pin belonging to
+// whoever re-pinned the frame in between. Epoch bookkeeping must therefore
+// track the pinned list, never the warmed list. Already-resident and
+// out-of-range pages are skipped; an insert refused by backpressure stops
+// the job, since a shard too hot for one page is too hot for the rest.
+// Only fetched pages are charged to the virtual clock. It is a no-op
+// without an attached cache.
+func (f *File) WarmPages(pages []int, pin bool) (warmed, pinned []int, err error) {
 	c := f.dev.cache
 	if c == nil || len(pages) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	var warmed []int
 	buf := make([]byte, f.dev.cfg.PageSize)
 	checked := false
 	for _, p := range pages {
@@ -82,18 +87,18 @@ func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
 		if !checked {
 			// One fault credit per warm batch, matching the demand paths'
 			// one credit per batch submission.
-			if err := f.dev.opCheck(); err != nil {
-				return warmed, err
+			if err := f.dev.opCheck(f.scope); err != nil {
+				return warmed, pinned, err
 			}
 			checked = true
 		}
-		f.mu.Lock()
-		if p < 0 || p >= f.store.numPages() {
-			f.mu.Unlock()
+		f.s.mu.Lock()
+		if p < 0 || p >= f.s.store.numPages() {
+			f.s.mu.Unlock()
 			continue
 		}
 		err := f.readPageLocked(p, buf)
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		if errors.Is(err, ErrCorruptPage) {
 			// Never cache a corrupt page. Skip it and keep warming: the
 			// demand read will re-detect it where the consumer's recovery
@@ -102,18 +107,18 @@ func (f *File) WarmPages(pages []int, pin bool) ([]int, error) {
 		}
 		if err != nil {
 			f.chargeWarm(warmed)
-			return warmed, err
+			return warmed, pinned, err
 		}
 		if !c.Put(f.id, p, buf, true) {
 			break // backpressure: cache is hot or pinned solid
 		}
-		if pin {
-			c.Pin(f.id, p)
+		if pin && c.Pin(f.id, p) {
+			pinned = append(pinned, p)
 		}
 		warmed = append(warmed, p)
 	}
 	f.chargeWarm(warmed)
-	return warmed, nil
+	return warmed, pinned, nil
 }
 
 // chargeWarm accounts the fetched prefetch pages as one read batch,
@@ -124,8 +129,8 @@ func (f *File) chargeWarm(warmed []int) {
 	if len(warmed) == 0 {
 		return
 	}
-	f.pagesRead.Add(uint64(len(warmed)))
-	f.dev.chargeReadStage(len(warmed), maxPerChannel(f.chanBase, f.dev.cfg.Channels, warmed), obsv.StagePrefetch)
+	f.s.pagesRead.Add(uint64(len(warmed)))
+	f.dev.chargeReadStage(len(warmed), maxPerChannel(f.chanBase, f.dev.cfg.Channels, warmed), obsv.StagePrefetch, f.scope)
 }
 
 // UnpinPages releases one pin on each listed page. Pages evicted or

@@ -214,7 +214,7 @@ func TestFaultPropagatesThroughCacheMiss(t *testing.T) {
 	if err := f.ReadPages([]int{0, 2}, make([]byte, 2*ps)); !errors.Is(err, ssd.ErrInjected) {
 		t.Fatalf("partial-hit batch error = %v, want ErrInjected", err)
 	}
-	if _, err := f.WarmPages([]int{3, 4}, false); !errors.Is(err, ssd.ErrInjected) {
+	if _, _, err := f.WarmPages([]int{3, 4}, false); !errors.Is(err, ssd.ErrInjected) {
 		t.Fatalf("WarmPages error = %v, want ErrInjected", err)
 	}
 }
@@ -227,7 +227,7 @@ func TestWarmPagesChargesAndPins(t *testing.T) {
 	f := fillFile(t, dev, "data", 8)
 	dev.ResetStats()
 
-	warmed, err := f.WarmPages([]int{1, 2, 99, -1, 3}, true)
+	warmed, pinnedPages, err := f.WarmPages([]int{1, 2, 99, -1, 3}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestWarmPagesChargesAndPins(t *testing.T) {
 	}
 
 	// Re-warming resident pages is free and returns nothing.
-	again, err := f.WarmPages([]int{1, 2, 3}, false)
+	again, _, err := f.WarmPages([]int{1, 2, 3}, false)
 	if err != nil || len(again) != 0 {
 		t.Fatalf("re-warm = %v, %v; want empty, nil", again, err)
 	}
@@ -257,7 +257,7 @@ func TestWarmPagesChargesAndPins(t *testing.T) {
 	if st := c.Stats(); st.PrefetchHits != 3 {
 		t.Fatalf("PrefetchHits = %d, want 3", st.PrefetchHits)
 	}
-	f.UnpinPages(warmed)
+	f.UnpinPages(pinnedPages)
 }
 
 // TestUncachedPathsUnchanged guards the baseline: with no cache attached
@@ -275,7 +275,7 @@ func TestUncachedPathsUnchanged(t *testing.T) {
 	if got := dev.Stats().PagesRead; got != 3 {
 		t.Fatalf("uncached repeat reads charged %d pages, want 3", got)
 	}
-	if warmed, err := f.WarmPages([]int{0, 1}, true); err != nil || warmed != nil {
+	if warmed, _, err := f.WarmPages([]int{0, 1}, true); err != nil || warmed != nil {
 		t.Fatalf("WarmPages without cache = %v, %v; want nil, nil", warmed, err)
 	}
 }

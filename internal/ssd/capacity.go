@@ -219,11 +219,23 @@ func (d *Device) runContextErr() error {
 	return box.ctx.Err()
 }
 
+// runCtxErrFor resolves the run context governing a scoped operation: a
+// scoped run consults only its own context (its deadline, its
+// cancellation), never the device-global slot, so concurrent runs cannot
+// abort each other's retries.
+func (d *Device) runCtxErrFor(sc *IOScope) error {
+	if sc != nil {
+		return sc.runContextErr()
+	}
+	return d.runContextErr()
+}
+
 // sleepRetry charges one jittered backoff delay to the virtual clock,
 // attributed to the stage whose operation is being retried so per-stage
-// times still sum to StorageTime().
-func (d *Device) sleepRetry(backoff time.Duration) {
-	st, _ := d.StageTag()
+// times still sum to StorageTime(). A non-nil scope resolves the stage
+// from its own tag and mirrors the charge.
+func (d *Device) sleepRetry(backoff time.Duration, sc *IOScope) {
+	st, _ := d.stageOf(sc)
 	d.mu.Lock()
 	half := backoff / 2
 	delay := half + time.Duration(splitmix64(&d.retryRNG)%uint64(half+1))
@@ -231,4 +243,11 @@ func (d *Device) sleepRetry(backoff time.Duration) {
 	d.stats.RetryBackoff += delay
 	d.stats.Stages[st].Time += delay
 	d.mu.Unlock()
+	if sc != nil {
+		sc.mu.Lock()
+		sc.stats.Retries++
+		sc.stats.RetryBackoff += delay
+		sc.stats.Stages[st].Time += delay
+		sc.mu.Unlock()
+	}
 }

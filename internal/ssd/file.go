@@ -18,12 +18,22 @@ import (
 // device accordingly.
 //
 // Files are safe for concurrent use.
+//
+// A *File is a cheap handle: the mutable state (pages, size, counters)
+// lives in a shared fileState, so Scoped can mint per-run views that
+// differ only in IO attribution while every handle sees the same data.
 type File struct {
 	dev      *Device
 	id       uint32 // device-assigned, identifies this file's pages in the cache
 	name     string
 	chanBase uint32
+	scope    *IOScope // attribution scope; nil = device-global tag
 
+	s *fileState
+}
+
+// fileState is the shared mutable state behind every handle of one file.
+type fileState struct {
 	mu    sync.Mutex
 	store store
 	size  int64 // logical bytes (append stream length)
@@ -47,24 +57,24 @@ func (f *File) ID() uint32 { return f.id }
 
 // NumPages returns the number of allocated pages.
 func (f *File) NumPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.store.numPages()
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	return f.s.store.numPages()
 }
 
 // Size returns the logical byte length of the append stream.
 func (f *File) Size() int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.size
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	return f.s.size
 }
 
 // SetSize overrides the logical byte length. It is used when re-opening
 // files whose length is recorded in external metadata.
 func (f *File) SetSize(n int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.size = n
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	f.s.size = n
 }
 
 // ReadPage reads page idx into buf, which must be exactly one page long.
@@ -76,26 +86,26 @@ func (f *File) ReadPage(idx int, buf []byte) error {
 	c := f.dev.cache
 	if c != nil {
 		if c.Get(f.id, idx, buf) {
-			f.dev.noteCache(1, 0, stageAmbient)
+			f.dev.noteCache(1, 0, stageAmbient, f.scope)
 			return nil
 		}
-		f.dev.noteCache(0, 1, stageAmbient)
+		f.dev.noteCache(0, 1, stageAmbient, f.scope)
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	if idx < 0 || idx >= f.store.numPages() {
-		f.mu.Unlock()
-		return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, f.store.numPages())
+	f.s.mu.Lock()
+	if idx < 0 || idx >= f.s.store.numPages() {
+		f.s.mu.Unlock()
+		return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, f.s.store.numPages())
 	}
 	err := f.readPageLocked(idx, buf)
-	f.mu.Unlock()
+	f.s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	f.pagesRead.Add(1)
-	f.dev.chargeRead(1, 1)
+	f.s.pagesRead.Add(1)
+	f.dev.chargeRead(1, 1, f.scope)
 	if c != nil {
 		c.Put(f.id, idx, buf, false)
 	}
@@ -129,24 +139,24 @@ func (f *File) readPagesStage(pages []int, dst []byte, st obsv.Stage) error {
 	if f.dev.cache != nil {
 		return f.readPagesCached(pages, dst, st)
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	np := f.store.numPages()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
 	for i, p := range pages {
 		if p < 0 || p >= np {
-			f.mu.Unlock()
+			f.s.mu.Unlock()
 			return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, p, f.name, np)
 		}
 		if err := f.readPageLocked(p, dst[i*ps:(i+1)*ps]); err != nil {
-			f.mu.Unlock()
+			f.s.mu.Unlock()
 			return err
 		}
 	}
-	f.mu.Unlock()
-	f.pagesRead.Add(uint64(len(pages)))
-	f.dev.chargeReadStage(len(pages), maxPerChannel(f.chanBase, f.dev.cfg.Channels, pages), st)
+	f.s.mu.Unlock()
+	f.s.pagesRead.Add(uint64(len(pages)))
+	f.dev.chargeReadStage(len(pages), maxPerChannel(f.chanBase, f.dev.cfg.Channels, pages), st, f.scope)
 	return nil
 }
 
@@ -167,24 +177,24 @@ func (f *File) ReadPageRange(start, n int, dst []byte) error {
 		}
 		return f.readPagesCached(pages, dst, stageAmbient)
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	np := f.store.numPages()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
 	if start < 0 || start+n > np {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return fmt.Errorf("%w: pages [%d,%d) of %q (%d pages)", ErrOutOfRange, start, start+n, f.name, np)
 	}
 	for i := 0; i < n; i++ {
 		if err := f.readPageLocked(start+i, dst[i*ps:(i+1)*ps]); err != nil {
-			f.mu.Unlock()
+			f.s.mu.Unlock()
 			return err
 		}
 	}
-	f.mu.Unlock()
-	f.pagesRead.Add(uint64(n))
-	f.dev.chargeRead(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	f.s.mu.Unlock()
+	f.s.pagesRead.Add(uint64(n))
+	f.dev.chargeRead(n, maxPerChannelRange(n, f.dev.cfg.Channels), f.scope)
 	return nil
 }
 
@@ -194,13 +204,13 @@ func (f *File) WritePage(idx int, data []byte) error {
 	if len(data) != f.dev.cfg.PageSize {
 		return ErrShortBuffer
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	np := f.store.numPages()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
 	if idx < 0 || idx > np {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return fmt.Errorf("%w: write page %d of %q (%d pages)", ErrOutOfRange, idx, f.name, np)
 	}
 	grow := 0
@@ -208,19 +218,19 @@ func (f *File) WritePage(idx int, data []byte) error {
 		grow = 1
 	}
 	if err := f.dev.reserveGrow(grow); err != nil {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return err
 	}
 	err := f.writePageLocked(idx, data)
 	if err != nil {
-		unused := grow - (f.store.numPages() - np)
-		f.mu.Unlock()
+		unused := grow - (f.s.store.numPages() - np)
+		f.s.mu.Unlock()
 		f.dev.freePages(unused)
 		return err
 	}
-	f.mu.Unlock()
-	f.pagesWritten.Add(1)
-	f.dev.chargeWrite(1, 1)
+	f.s.mu.Unlock()
+	f.s.pagesWritten.Add(1)
+	f.dev.chargeWrite(1, 1, f.scope)
 	if c := f.dev.cache; c != nil {
 		c.Write(f.id, idx, data)
 	}
@@ -238,31 +248,31 @@ func (f *File) WritePageRange(start int, data []byte) error {
 	if n == 0 {
 		return nil
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	np := f.store.numPages()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
 	if start < 0 || start > np {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return fmt.Errorf("%w: write pages at %d of %q (%d pages)", ErrOutOfRange, start, f.name, np)
 	}
 	grow := start + n - np
 	if err := f.dev.reserveGrow(grow); err != nil {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return err
 	}
 	for i := 0; i < n; i++ {
 		if err := f.writePageLocked(start+i, data[i*ps:(i+1)*ps]); err != nil {
-			unused := grow - (f.store.numPages() - np)
-			f.mu.Unlock()
+			unused := grow - (f.s.store.numPages() - np)
+			f.s.mu.Unlock()
 			f.dev.freePages(unused)
 			return err
 		}
 	}
-	f.mu.Unlock()
-	f.pagesWritten.Add(uint64(n))
-	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	f.s.mu.Unlock()
+	f.s.pagesWritten.Add(uint64(n))
+	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels), f.scope)
 	if c := f.dev.cache; c != nil {
 		for i := 0; i < n; i++ {
 			c.Write(f.id, start+i, data[i*ps:(i+1)*ps])
@@ -276,28 +286,28 @@ func (f *File) AppendPage(data []byte) (int, error) {
 	if len(data) != f.dev.cfg.PageSize {
 		return 0, ErrShortBuffer
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return 0, err
 	}
-	f.mu.Lock()
-	idx := f.store.numPages()
+	f.s.mu.Lock()
+	idx := f.s.store.numPages()
 	if err := f.dev.reserveGrow(1); err != nil {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return 0, err
 	}
 	err := f.writePageLocked(idx, data)
 	if err == nil {
-		f.size = int64(idx+1) * int64(f.dev.cfg.PageSize)
+		f.s.size = int64(idx+1) * int64(f.dev.cfg.PageSize)
 	}
 	if err != nil {
-		unused := 1 - (f.store.numPages() - idx)
-		f.mu.Unlock()
+		unused := 1 - (f.s.store.numPages() - idx)
+		f.s.mu.Unlock()
 		f.dev.freePages(unused)
 		return 0, err
 	}
-	f.mu.Unlock()
-	f.pagesWritten.Add(1)
-	f.dev.chargeWrite(1, 1)
+	f.s.mu.Unlock()
+	f.s.pagesWritten.Add(1)
+	f.dev.chargeWrite(1, 1, f.scope)
 	if c := f.dev.cache; c != nil {
 		c.Write(f.id, idx, data)
 	}
@@ -315,27 +325,27 @@ func (f *File) AppendPages(data []byte) error {
 	if n == 0 {
 		return nil
 	}
-	if err := f.dev.opCheck(); err != nil {
+	if err := f.dev.opCheck(f.scope); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	start := f.store.numPages()
+	f.s.mu.Lock()
+	start := f.s.store.numPages()
 	if err := f.dev.reserveGrow(n); err != nil {
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		return err
 	}
 	for i := 0; i < n; i++ {
 		if err := f.writePageLocked(start+i, data[i*ps:(i+1)*ps]); err != nil {
-			unused := n - (f.store.numPages() - start)
-			f.mu.Unlock()
+			unused := n - (f.s.store.numPages() - start)
+			f.s.mu.Unlock()
 			f.dev.freePages(unused)
 			return err
 		}
 	}
-	f.size = int64(start+n) * int64(ps)
-	f.mu.Unlock()
-	f.pagesWritten.Add(uint64(n))
-	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels))
+	f.s.size = int64(start+n) * int64(ps)
+	f.s.mu.Unlock()
+	f.s.pagesWritten.Add(uint64(n))
+	f.dev.chargeWrite(n, maxPerChannelRange(n, f.dev.cfg.Channels), f.scope)
 	if c := f.dev.cache; c != nil {
 		for i := 0; i < n; i++ {
 			c.Write(f.id, start+i, data[i*ps:(i+1)*ps])
@@ -347,11 +357,11 @@ func (f *File) AppendPages(data []byte) error {
 // Truncate discards all pages and resets the logical size to zero. Used to
 // recycle log files between supersteps.
 func (f *File) Truncate() error {
-	f.mu.Lock()
-	np := f.store.numPages()
-	err := f.store.truncate(0)
-	f.size = 0
-	f.mu.Unlock()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
+	err := f.s.store.truncate(0)
+	f.s.size = 0
+	f.s.mu.Unlock()
 	if err == nil {
 		f.dev.freePages(np)
 	}
@@ -393,7 +403,7 @@ func pageCount(n int64, pageSize int) int {
 
 // DataPages returns the number of pages covering the logical size.
 func (f *File) DataPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return pageCount(f.size, f.dev.cfg.PageSize)
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	return pageCount(f.s.size, f.dev.cfg.PageSize)
 }

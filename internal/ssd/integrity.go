@@ -124,9 +124,9 @@ func (d *Device) corruptHit(name string) bool {
 
 // readPageLocked is the integrity-checked physical read: store read,
 // corruption injection, then CRC verification. Every physical page read
-// in file.go and cache.go funnels through here. Caller holds f.mu.
+// in file.go and cache.go funnels through here. Caller holds f.s.mu.
 func (f *File) readPageLocked(idx int, buf []byte) error {
-	if err := f.store.readPage(idx, buf); err != nil {
+	if err := f.s.store.readPage(idx, buf); err != nil {
 		return err
 	}
 	d := f.dev
@@ -135,7 +135,7 @@ func (f *File) readPageLocked(idx int, buf []byte) error {
 		// damage survives cache invalidation and process restarts (on
 		// disk-backed devices) until the page is rewritten.
 		buf[len(buf)/2] ^= 0x40
-		if err := f.store.writePage(idx, buf); err != nil {
+		if err := f.s.store.writePage(idx, buf); err != nil {
 			return err
 		}
 		d.mu.Lock()
@@ -145,12 +145,12 @@ func (f *File) readPageLocked(idx int, buf []byte) error {
 	if d.cfg.NoVerify {
 		return nil
 	}
-	want, ok := f.store.getCRC(idx)
+	want, ok := f.s.store.getCRC(idx)
 	if !ok {
 		return nil // adopted page with no recorded checksum: pass unverified
 	}
 	if crc32.Checksum(buf, castagnoli) != want {
-		f.corrupt.Add(1)
+		f.s.corrupt.Add(1)
 		d.mu.Lock()
 		d.stats.CorruptPages++
 		d.mu.Unlock()
@@ -160,15 +160,15 @@ func (f *File) readPageLocked(idx int, buf []byte) error {
 }
 
 // writePageLocked is the integrity-maintaining physical write: store
-// write plus sidecar CRC update. Caller holds f.mu.
+// write plus sidecar CRC update. Caller holds f.s.mu.
 func (f *File) writePageLocked(idx int, data []byte) error {
-	if err := f.store.writePage(idx, data); err != nil {
+	if err := f.s.store.writePage(idx, data); err != nil {
 		return err
 	}
 	if f.dev.cfg.NoVerify {
 		return nil
 	}
-	return f.store.setCRC(idx, crc32.Checksum(data, castagnoli))
+	return f.s.store.setCRC(idx, crc32.Checksum(data, castagnoli))
 }
 
 // CorruptStoredPage flips one bit in the stored copy of the named file's
@@ -184,15 +184,15 @@ func (d *Device) CorruptStoredPage(name string, page int) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotExist, name)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if page < 0 || page >= f.store.numPages() {
-		return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, page, name, f.store.numPages())
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	if page < 0 || page >= f.s.store.numPages() {
+		return fmt.Errorf("%w: page %d of %q (%d pages)", ErrOutOfRange, page, name, f.s.store.numPages())
 	}
 	buf := make([]byte, d.cfg.PageSize)
-	if err := f.store.readPage(page, buf); err != nil {
+	if err := f.s.store.readPage(page, buf); err != nil {
 		return err
 	}
 	buf[len(buf)/2] ^= 0x40
-	return f.store.writePage(page, buf)
+	return f.s.store.writePage(page, buf)
 }

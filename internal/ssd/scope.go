@@ -1,0 +1,144 @@
+package ssd
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"multilogvc/internal/obsv"
+)
+
+// IOScope is a per-run attribution handle. The device's own stage tag and
+// run context are process-global — correct for the one-shot CLI, where a
+// single engine run owns the device — but a serving process runs several
+// engines over one device concurrently, and a global tag lets run A's IO
+// land in whatever stage run B last set (cross-run attribution races).
+//
+// A scope carries its own packed stage/interval tag, its own run context,
+// and a private mirror of the device counters. File handles bound to a
+// scope (File.Scoped) resolve ambient charges against the scope instead of
+// the device: the scope's Stats see exactly the IO issued through its
+// handles, while the device's global Stats still aggregate every scope, so
+// the sum-to-global invariant of Stats.Stages is preserved.
+//
+// Scopes are cheap (no registration, no device lock) and safe for
+// concurrent use. A nil *IOScope everywhere means "the device's global
+// tag", which is the pre-scope behavior.
+type IOScope struct {
+	tag    atomic.Uint64
+	runCtx atomic.Pointer[runCtxBox]
+
+	mu      sync.Mutex
+	stats   Stats
+	ivPages map[int]uint64
+}
+
+// NewScope creates an independent IO scope. Scopes are not tied to a
+// device: the association happens per file handle via File.Scoped.
+func NewScope() *IOScope {
+	return &IOScope{}
+}
+
+// Tagger is where a pipeline unit sets the ambient IO stage: the device
+// itself (single-run processes) or a per-run IOScope. Both implement the
+// same swap-and-restore contract.
+type Tagger interface {
+	SetStage(s obsv.Stage, iv int) (obsv.Stage, int)
+}
+
+// SetStage tags subsequent IO issued through this scope's file handles
+// with the given pipeline stage and vertex interval (-1 = none),
+// returning the previous tag so a scoped section can restore it. Same
+// contract as Device.SetStage, but private to the run.
+func (sc *IOScope) SetStage(s obsv.Stage, iv int) (obsv.Stage, int) {
+	return unpackStage(sc.tag.Swap(packStage(s, iv)))
+}
+
+// StageTag returns the scope's current stage tag, clamped like
+// Device.StageTag.
+func (sc *IOScope) StageTag() (obsv.Stage, int) {
+	st, iv := unpackStage(sc.tag.Load())
+	if int(st) >= obsv.NumStages {
+		st = obsv.StageOther
+	}
+	return st, iv
+}
+
+// SetRunContext installs the context consulted between retry attempts for
+// IO issued through this scope's file handles (see Device.SetRunContext).
+// Each concurrent run gets its own deadline behavior instead of sharing
+// the device-global slot.
+func (sc *IOScope) SetRunContext(ctx context.Context) {
+	if ctx == nil {
+		sc.runCtx.Store(&runCtxBox{})
+		return
+	}
+	sc.runCtx.Store(&runCtxBox{ctx: ctx})
+}
+
+func (sc *IOScope) runContextErr() error {
+	box := sc.runCtx.Load()
+	if box == nil || box.ctx == nil {
+		return nil
+	}
+	return box.ctx.Err()
+}
+
+// Stats returns a snapshot of the counters accumulated by IO issued
+// through this scope's file handles. The same Stats shape as the device's,
+// so per-run deltas and stage breakdowns work unchanged.
+func (sc *IOScope) Stats() Stats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.stats
+}
+
+// IntervalIO returns a copy of the pages moved per tagged vertex interval
+// by IO issued through this scope (see Device.IntervalIO).
+func (sc *IOScope) IntervalIO() map[int]uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make(map[int]uint64, len(sc.ivPages))
+	for iv, n := range sc.ivPages {
+		out[iv] = n
+	}
+	return out
+}
+
+// noteIv accumulates interval-tagged page traffic. Callers hold sc.mu.
+func (sc *IOScope) noteIvLocked(iv int, npages int) {
+	if iv < 0 {
+		return
+	}
+	if sc.ivPages == nil {
+		sc.ivPages = make(map[int]uint64)
+	}
+	sc.ivPages[iv] += uint64(npages)
+}
+
+// Scoped returns a view of the file whose ambient charges (stage tag, run
+// context, per-run counters) resolve against sc instead of the device's
+// global tag. The view shares the underlying pages, size, and per-file
+// counters with every other handle of the same file; only attribution
+// differs. A nil scope returns f itself.
+func (f *File) Scoped(sc *IOScope) *File {
+	if sc == nil || f == nil {
+		return f
+	}
+	g := *f
+	g.scope = sc
+	return &g
+}
+
+// Scope returns the scope this handle is bound to, or nil for the
+// device-global default.
+func (f *File) Scope() *IOScope { return f.scope }
+
+// stageOf resolves the ambient stage/interval for a charge issued through
+// scope sc (nil = the device-global tag).
+func (d *Device) stageOf(sc *IOScope) (obsv.Stage, int) {
+	if sc != nil {
+		return sc.StageTag()
+	}
+	return d.StageTag()
+}

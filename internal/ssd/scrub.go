@@ -35,23 +35,23 @@ func (d *Device) Scrub() ([]ScrubResult, error) {
 	buf := make([]byte, d.cfg.PageSize)
 	for _, f := range files {
 		r := ScrubResult{File: f.name}
-		f.mu.Lock()
-		r.Pages = f.store.numPages()
+		f.s.mu.Lock()
+		r.Pages = f.s.store.numPages()
 		for p := 0; p < r.Pages; p++ {
-			want, ok := f.store.getCRC(p)
+			want, ok := f.s.store.getCRC(p)
 			if !ok {
 				r.Unverified++
 				continue
 			}
-			if err := f.store.readPage(p, buf); err != nil {
-				f.mu.Unlock()
+			if err := f.s.store.readPage(p, buf); err != nil {
+				f.s.mu.Unlock()
 				return out, err
 			}
 			if crc32.Checksum(buf, castagnoli) != want {
 				r.Corrupt = append(r.Corrupt, p)
 			}
 		}
-		f.mu.Unlock()
+		f.s.mu.Unlock()
 		out = append(out, r)
 	}
 	return out, nil

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -517,12 +518,26 @@ func (d *Device) faultCheck() error {
 	return nil
 }
 
+// faultCheckScoped is faultCheck with the transient-fault count mirrored
+// into the issuing scope.
+func (d *Device) faultCheckScoped(sc *IOScope) error {
+	err := d.faultCheck()
+	if err != nil && sc != nil && errors.Is(err, ErrTransient) {
+		sc.mu.Lock()
+		sc.stats.TransientFaults++
+		sc.mu.Unlock()
+	}
+	return err
+}
+
 // opCheck is the fault gate on every page operation: it consumes attempt
 // credits and absorbs transient faults by retrying with exponential
 // backoff and jitter, charging the waits to the virtual storage clock.
-// Permanent faults and exhausted budgets surface to the caller.
-func (d *Device) opCheck() error {
-	err := d.faultCheck()
+// Permanent faults and exhausted budgets surface to the caller. The scope
+// (nil = device-global) selects whose run context aborts the retry
+// schedule and whose counters mirror the retry costs.
+func (d *Device) opCheck(sc *IOScope) error {
+	err := d.faultCheckScoped(sc)
 	if err == nil || !errors.Is(err, ErrTransient) {
 		return err
 	}
@@ -531,13 +546,13 @@ func (d *Device) opCheck() error {
 	for attempt := 1; attempt <= pol.MaxRetries; attempt++ {
 		// A canceled run context aborts the schedule instead of burning the
 		// remaining budget, so deadlines are not overshot by retries.
-		if cerr := d.runContextErr(); cerr != nil {
+		if cerr := d.runCtxErrFor(sc); cerr != nil {
 			return fmt.Errorf("ssd: retry abandoned after %d attempts: %w", attempt, cerr)
 		}
 		// Jittered delay in [backoff/2, backoff), deterministic per device.
-		d.sleepRetry(backoff)
+		d.sleepRetry(backoff, sc)
 
-		err = d.faultCheck()
+		err = d.faultCheckScoped(sc)
 		if err == nil {
 			return nil
 		}
@@ -554,6 +569,11 @@ func (d *Device) opCheck() error {
 	d.mu.Lock()
 	d.stats.RetriesExhausted++
 	d.mu.Unlock()
+	if sc != nil {
+		sc.mu.Lock()
+		sc.stats.RetriesExhausted++
+		sc.mu.Unlock()
+	}
 	return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, 1+pol.MaxRetries, err)
 }
 
@@ -602,10 +622,10 @@ func (d *Device) adoptDir() error {
 			return err
 		}
 		d.nextFileID++
-		f := &File{dev: d, id: d.nextFileID, name: name, chanBase: nameHash(name), store: st}
+		f := &File{dev: d, id: d.nextFileID, name: name, chanBase: nameHash(name), s: &fileState{store: st}}
 		// Without external metadata the best logical-size guess is the
 		// allocated extent; csr.Open overrides it from its meta file.
-		f.size = int64(st.numPages()) * int64(d.cfg.PageSize)
+		f.s.size = int64(st.numPages()) * int64(d.cfg.PageSize)
 		d.usedPages += int64(st.numPages())
 		d.files[name] = f
 		return nil
@@ -655,7 +675,7 @@ func (d *Device) Create(name string) (*File, error) {
 		return nil, err
 	}
 	d.nextFileID++
-	f := &File{dev: d, id: d.nextFileID, name: name, chanBase: nameHash(name), store: st}
+	f := &File{dev: d, id: d.nextFileID, name: name, chanBase: nameHash(name), s: &fileState{store: st}}
 	d.files[name] = f
 	d.stats.FilesCreated++
 	return f, nil
@@ -699,12 +719,35 @@ func (d *Device) Remove(name string) error {
 	if d.cache != nil {
 		d.cache.InvalidateFile(f.id)
 	}
-	f.mu.Lock()
-	np := f.store.numPages()
-	err := f.store.close()
-	f.mu.Unlock()
+	f.s.mu.Lock()
+	np := f.s.store.numPages()
+	err := f.s.store.close()
+	f.s.mu.Unlock()
 	d.freePages(np)
 	return err
+}
+
+// RemovePrefix removes every file whose name starts with prefix and
+// returns the number removed. Serving runs namespace their scratch files
+// under a per-query prefix and sweep them with one call when the query
+// finishes or is shed; removal errors after the first are dropped in
+// favor of removing as much as possible.
+func (d *Device) RemovePrefix(prefix string) (int, error) {
+	var firstErr error
+	n := 0
+	for _, name := range d.ListFiles() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if err := d.Remove(name); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n++
+	}
+	return n, firstErr
 }
 
 // Exists reports whether a file with the given name exists.
@@ -750,40 +793,63 @@ func (d *Device) StatsByFile() map[string]FileStats {
 	out := make(map[string]FileStats, len(d.files))
 	for name, f := range d.files {
 		out[name] = FileStats{
-			PagesRead:    f.pagesRead.Load(),
-			PagesWritten: f.pagesWritten.Load(),
-			CorruptPages: f.corrupt.Load(),
+			PagesRead:    f.s.pagesRead.Load(),
+			PagesWritten: f.s.pagesWritten.Load(),
+			CorruptPages: f.s.corrupt.Load(),
 		}
 	}
 	return out
 }
 
+// addReadBatch accumulates one read-batch charge into a counter set; the
+// device's global stats and the issuing scope's mirror share this code so
+// they cannot drift.
+func (s *Stats) addReadBatch(npages, maxOnChan, pageSize, channels int, lat time.Duration, st obsv.Stage) {
+	s.PagesRead += uint64(npages)
+	s.BytesRead += uint64(npages) * uint64(pageSize)
+	s.BatchReads++
+	s.ReadTime += lat
+	s.ReadBatchPages.Observe(uint64(npages))
+	s.ReadImbalance.Observe(uint64(maxOnChan - idealDepth(npages, channels)))
+	s.ReadLatencyUS.Observe(uint64(lat / time.Microsecond))
+	sst := &s.Stages[st]
+	sst.PagesRead += uint64(npages)
+	sst.Time += lat
+}
+
+func (s *Stats) addWriteBatch(npages, maxOnChan, pageSize, channels int, lat time.Duration, st obsv.Stage) {
+	s.PagesWritten += uint64(npages)
+	s.BytesWritten += uint64(npages) * uint64(pageSize)
+	s.BatchWrites++
+	s.WriteTime += lat
+	s.WriteBatchPages.Observe(uint64(npages))
+	s.WriteImbalance.Observe(uint64(maxOnChan - idealDepth(npages, channels)))
+	s.WriteLatencyUS.Observe(uint64(lat / time.Microsecond))
+	sst := &s.Stages[st]
+	sst.PagesWritten += uint64(npages)
+	sst.Time += lat
+}
+
 // chargeRead charges a batch of page reads to the virtual clock,
-// attributed to the device's current stage tag. The batch completes when
-// the busiest channel drains its queue of maxOnChan pages.
-func (d *Device) chargeRead(npages int, maxOnChan int) {
-	d.chargeReadStage(npages, maxOnChan, stageAmbient)
+// attributed to the issuing scope's current stage tag (nil scope = the
+// device-global tag). The batch completes when the busiest channel drains
+// its queue of maxOnChan pages.
+func (d *Device) chargeRead(npages int, maxOnChan int, sc *IOScope) {
+	d.chargeReadStage(npages, maxOnChan, stageAmbient, sc)
 }
 
 // chargeReadStage is chargeRead with an explicit stage; stageAmbient
-// resolves the stage (and interval) from the current tag.
-func (d *Device) chargeReadStage(npages int, maxOnChan int, st obsv.Stage) {
+// resolves the stage (and interval) from the issuing scope's tag. Charges
+// always land in the device-global stats; a non-nil scope additionally
+// mirrors them into its private counters for per-run accounting.
+func (d *Device) chargeReadStage(npages int, maxOnChan int, st obsv.Stage, sc *IOScope) {
 	iv := -1
 	if st == stageAmbient {
-		st, iv = d.StageTag()
+		st, iv = d.stageOf(sc)
 	}
 	lat := time.Duration(maxOnChan) * d.cfg.PageReadLatency
 	d.mu.Lock()
-	d.stats.PagesRead += uint64(npages)
-	d.stats.BytesRead += uint64(npages) * uint64(d.cfg.PageSize)
-	d.stats.BatchReads++
-	d.stats.ReadTime += lat
-	d.stats.ReadBatchPages.Observe(uint64(npages))
-	d.stats.ReadImbalance.Observe(uint64(maxOnChan - idealDepth(npages, d.cfg.Channels)))
-	d.stats.ReadLatencyUS.Observe(uint64(lat / time.Microsecond))
-	sst := &d.stats.Stages[st]
-	sst.PagesRead += uint64(npages)
-	sst.Time += lat
+	d.stats.addReadBatch(npages, maxOnChan, d.cfg.PageSize, d.cfg.Channels, lat, st)
 	if iv >= 0 {
 		if d.ivPages == nil {
 			d.ivPages = make(map[int]uint64)
@@ -791,22 +857,19 @@ func (d *Device) chargeReadStage(npages int, maxOnChan int, st obsv.Stage) {
 		d.ivPages[iv] += uint64(npages)
 	}
 	d.mu.Unlock()
+	if sc != nil {
+		sc.mu.Lock()
+		sc.stats.addReadBatch(npages, maxOnChan, d.cfg.PageSize, d.cfg.Channels, lat, st)
+		sc.noteIvLocked(iv, npages)
+		sc.mu.Unlock()
+	}
 }
 
-func (d *Device) chargeWrite(npages int, maxOnChan int) {
-	st, iv := d.StageTag()
+func (d *Device) chargeWrite(npages int, maxOnChan int, sc *IOScope) {
+	st, iv := d.stageOf(sc)
 	lat := time.Duration(maxOnChan) * d.cfg.PageWriteLatency
 	d.mu.Lock()
-	d.stats.PagesWritten += uint64(npages)
-	d.stats.BytesWritten += uint64(npages) * uint64(d.cfg.PageSize)
-	d.stats.BatchWrites++
-	d.stats.WriteTime += lat
-	d.stats.WriteBatchPages.Observe(uint64(npages))
-	d.stats.WriteImbalance.Observe(uint64(maxOnChan - idealDepth(npages, d.cfg.Channels)))
-	d.stats.WriteLatencyUS.Observe(uint64(lat / time.Microsecond))
-	sst := &d.stats.Stages[st]
-	sst.PagesWritten += uint64(npages)
-	sst.Time += lat
+	d.stats.addWriteBatch(npages, maxOnChan, d.cfg.PageSize, d.cfg.Channels, lat, st)
 	if iv >= 0 {
 		if d.ivPages == nil {
 			d.ivPages = make(map[int]uint64)
@@ -814,23 +877,35 @@ func (d *Device) chargeWrite(npages int, maxOnChan int) {
 		d.ivPages[iv] += uint64(npages)
 	}
 	d.mu.Unlock()
+	if sc != nil {
+		sc.mu.Lock()
+		sc.stats.addWriteBatch(npages, maxOnChan, d.cfg.PageSize, d.cfg.Channels, lat, st)
+		sc.noteIvLocked(iv, npages)
+		sc.mu.Unlock()
+	}
 }
 
 // noteCache attributes page-cache consult outcomes to a stage;
-// stageAmbient resolves from the current tag. Called at the device's
-// cache consult points so per-stage hit/miss counts line up with the
-// cache's own counters (see pagecache.Stats).
-func (d *Device) noteCache(hits, misses int, st obsv.Stage) {
+// stageAmbient resolves from the issuing scope's tag. Called at the
+// device's cache consult points so per-stage hit/miss counts line up with
+// the cache's own counters (see pagecache.Stats).
+func (d *Device) noteCache(hits, misses int, st obsv.Stage, sc *IOScope) {
 	if hits == 0 && misses == 0 {
 		return
 	}
 	if st == stageAmbient {
-		st, _ = d.StageTag()
+		st, _ = d.stageOf(sc)
 	}
 	d.mu.Lock()
 	d.stats.Stages[st].CacheHits += uint64(hits)
 	d.stats.Stages[st].CacheMisses += uint64(misses)
 	d.mu.Unlock()
+	if sc != nil {
+		sc.mu.Lock()
+		sc.stats.Stages[st].CacheHits += uint64(hits)
+		sc.stats.Stages[st].CacheMisses += uint64(misses)
+		sc.mu.Unlock()
+	}
 }
 
 // idealDepth is the busiest-channel depth of a perfectly striped batch:

@@ -82,6 +82,36 @@ type Program interface {
 	Process(ctx Context, msgs []Msg)
 }
 
+// LaneProgram is implemented by multi-source programs that run K
+// independent point queries ("lanes") in one superstep execution. The
+// engine then allocates a lane-strided value array (Lanes slots per
+// vertex) and provides a LaneContext; the active set is the union of the
+// per-lane frontiers, so K queries cost one pass over the logs instead of
+// K. Lanes are fully independent — a lane's values and messages never
+// influence another lane — which is what makes the batched result
+// bit-identical to K sequential single-source runs. LanePrograms must not
+// implement Combiner: messages of different lanes must never merge.
+type LaneProgram interface {
+	Program
+	// Lanes returns the number of member queries (value slots per vertex).
+	Lanes() int
+	// InitValueLane returns vertex v's initial value in the given lane.
+	// Program.InitValue is still consulted by single-lane engines and
+	// should return InitValueLane(v, 0, n).
+	InitValueLane(v uint32, lane int, n uint32) uint32
+}
+
+// LaneContext is the Context extension engines provide when running a
+// LaneProgram. Programs probe for it with a type assertion; engines
+// without lane support simply never run LanePrograms with Lanes() > 1.
+type LaneContext interface {
+	Context
+	// ValueLane returns the processed vertex's value in the given lane.
+	ValueLane(lane int) uint32
+	// SetValueLane updates the processed vertex's value in the given lane.
+	SetValueLane(lane int, v uint32)
+}
+
 // Combiner is implemented by programs whose updates can be merged into a
 // single value per destination without affecting correctness (BFS's min,
 // PageRank's sum). Engines may apply Combine to any subset of a vertex's
