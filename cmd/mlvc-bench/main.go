@@ -87,6 +87,7 @@ var experiments = []experiment{
 	{"integrity", "page-checksum overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.Integrity(b.size) }},
 	{"spill", "sort-budget spill overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.SpillOverhead(b.size) }},
 	{"serving", "multi-source query batching: pages/query at batch 1/4/16", func(b *benchCtx) (*metrics.Table, error) { return harness.Serving(b.size) }},
+	{"isolation", "batch fault isolation: clean batch vs solos vs isolation event", func(b *benchCtx) (*metrics.Table, error) { return harness.IsolationCost(b.size) }},
 }
 
 func expNames() string {

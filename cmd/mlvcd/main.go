@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -60,6 +61,13 @@ func run(args []string) error {
 	deadline := fs.Duration("deadline", 30*time.Second, "default per-query deadline")
 	retries := fs.Int("retries", 0, "max retries per transient device fault; 0 = default (3), -1 disables")
 	diskCap := fs.Int64("disk-cap", 0, "device byte quota; query scratch past it is shed with no_space (0 = unlimited)")
+	brkWindow := fs.Int("breaker-window", 32, "fault circuit breaker: sliding window in query outcomes")
+	brkThreshold := fs.Float64("breaker-threshold", 0.5, "fault circuit breaker: windowed fault rate that opens it")
+	brkMin := fs.Int("breaker-min", 8, "fault circuit breaker: min outcomes before it may open")
+	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "fault circuit breaker: open duration before half-open probes")
+	brkProbes := fs.Int("breaker-probes", 2, "fault circuit breaker: half-open probe concurrency (and successes to close)")
+	faultInject := fs.Bool("fault-inject", false,
+		"TESTING ONLY: honor MLVCD_FAULT_{TRANSIENT,CORRUPT,NOSPACE}_PROB / MLVCD_FAULT_CORRUPT_ONLY / MLVCD_FAULT_SEED env vars and expose POST /debug/fault")
 	fs.Parse(args)
 	if *dir == "" {
 		fs.Usage()
@@ -85,16 +93,29 @@ func run(args []string) error {
 	fmt.Printf("mlvcd: opened %q: %d vertices, %d edges, %d intervals\n",
 		*name, g.NumVertices(), g.NumEdges(), len(g.Intervals()))
 
+	// Fault injection arms AFTER the graph is opened (the open itself
+	// must not trip) and only when explicitly enabled: this is the CI
+	// fault smoke's control surface, never a production mode.
+	if *faultInject {
+		armFaultsFromEnv(dev)
+	}
+
 	s, err := serve.New(serve.Options{
-		Graph:           g,
-		Cache:           cache,
-		BatchWindow:     *window,
-		MaxBatch:        *maxBatch,
-		MaxConcurrent:   *maxConc,
-		MaxQueue:        *maxQueue,
-		DefaultDeadline: *deadline,
-		MaxSupersteps:   *steps,
-		MemoryBudget:    *mem,
+		Graph:             g,
+		Cache:             cache,
+		BatchWindow:       *window,
+		MaxBatch:          *maxBatch,
+		MaxConcurrent:     *maxConc,
+		MaxQueue:          *maxQueue,
+		DefaultDeadline:   *deadline,
+		MaxSupersteps:     *steps,
+		MemoryBudget:      *mem,
+		BreakerWindow:     *brkWindow,
+		BreakerThreshold:  *brkThreshold,
+		BreakerMinSamples: *brkMin,
+		BreakerCooldown:   *brkCooldown,
+		BreakerProbes:     *brkProbes,
+		FaultControl:      *faultInject,
 	})
 	if err != nil {
 		return err
@@ -129,4 +150,29 @@ func run(args []string) error {
 	s.Close()
 	fmt.Println("mlvcd: drained; bye")
 	return nil
+}
+
+// armFaultsFromEnv arms the device's probabilistic fault injection from
+// MLVCD_FAULT_* env vars (testing only; see -fault-inject). Unset or
+// malformed vars are ignored.
+func armFaultsFromEnv(dev *ssd.Device) {
+	seed := uint64(1)
+	if v, err := strconv.ParseUint(os.Getenv("MLVCD_FAULT_SEED"), 10, 64); err == nil && v > 0 {
+		seed = v
+	}
+	if only := os.Getenv("MLVCD_FAULT_CORRUPT_ONLY"); only != "" {
+		dev.CorruptOnly(only)
+	}
+	if p, err := strconv.ParseFloat(os.Getenv("MLVCD_FAULT_TRANSIENT_PROB"), 64); err == nil && p > 0 {
+		dev.FailTransientProb(p, seed)
+		fmt.Printf("mlvcd: fault injection armed: transient p=%g\n", p)
+	}
+	if p, err := strconv.ParseFloat(os.Getenv("MLVCD_FAULT_CORRUPT_PROB"), 64); err == nil && p > 0 {
+		dev.FailCorruptProb(p, seed|1)
+		fmt.Printf("mlvcd: fault injection armed: corrupt p=%g\n", p)
+	}
+	if p, err := strconv.ParseFloat(os.Getenv("MLVCD_FAULT_NOSPACE_PROB"), 64); err == nil && p > 0 {
+		dev.FailNoSpaceProb(p, seed|3)
+		fmt.Printf("mlvcd: fault injection armed: no-space p=%g\n", p)
+	}
 }

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"fmt"
+
+	"multilogvc/internal/vc"
+)
+
+// NewPoint returns the single-source reference program for a point-query
+// kind. It is the solo re-run path behind the serving plane's batch fault
+// isolation: when a lane-batched execution dies of a retryable device
+// fault, each surviving member re-executes as this program — whose output
+// is, by the batching contract, bit-identical to its lane of the batch.
+func NewPoint(kind string, source uint32) (vc.Program, error) {
+	switch kind {
+	case "bfs":
+		return &BFS{Source: source}, nil
+	case "sssp":
+		return &SSSP{Source: source}, nil
+	default:
+		return nil, fmt.Errorf("apps: unknown point-query kind %q", kind)
+	}
+}

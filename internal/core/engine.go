@@ -57,6 +57,15 @@ var ErrInterrupted = errors.New("core: run interrupted; checkpoint committed")
 // but the newest periodic checkpoint (if any) remains valid for Resume.
 var ErrDeadline = errors.New("core: run deadline exceeded")
 
+// ErrPanic is returned when a panic escapes the engine — a vertex
+// worker's Process call or any stage on the run goroutine. The engine
+// contains it instead of letting it kill the process: deferred cleanup
+// (ephemeral scratch sweep, run-context reset) runs during unwinding, so
+// a long-lived host (the serving daemon) survives a panicking program
+// with nothing leaked. The panic value and location are preserved in the
+// wrapping message.
+var ErrPanic = errors.New("core: panic during run")
+
 // maxRollbacks bounds how many times one Run re-executes from the newest
 // checkpoint after hitting corrupt vital data. Transiently-planted
 // corruption (an injected flip on data that is rewritten, like value or
@@ -318,14 +327,24 @@ func (e *Engine) Run(prog vc.Program) (*Result, error) {
 // retry layer abandons its backoff schedule when it expires, and the
 // prefetcher wait is cut short. A deadline expiry anywhere surfaces
 // classified as ErrDeadline.
-func (e *Engine) RunCtx(ctx context.Context, prog vc.Program) (*Result, error) {
+func (e *Engine) RunCtx(ctx context.Context, prog vc.Program) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Contain panics from the run goroutine (engine stages, program
+	// callbacks reached outside the worker pool). Deferred cleanup below
+	// this frame — the ephemeral scratch sweep, SetRunContext(nil) — has
+	// already run by the time the recover fires, so the device is left
+	// exactly as a failed run leaves it.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
 	e.io.SetRunContext(ctx)
 	defer e.io.SetRunContext(nil)
 
-	res, err := e.runOnce(ctx, prog, e.cfg.Resume, 0)
+	res, err = e.runOnce(ctx, prog, e.cfg.Resume, 0)
 	if err != nil && errors.Is(err, ssd.ErrCorruptPage) && !errors.Is(err, ErrInterrupted) {
 		live := obsv.Live()
 		for rollbacks := 1; e.cfg.CheckpointEvery > 0 && rollbacks <= maxRollbacks; rollbacks++ {
@@ -1303,6 +1322,12 @@ func (e *Engine) processBatch(br *batchRun) error {
 	halted := make([]bool, len(verts))
 	var sent atomic.Uint64
 	var firstErr atomic.Value
+	// Panic capture is separate from firstErr: a program's Process panic
+	// on a worker goroutine would otherwise kill the whole process (the
+	// serving daemon included). The first panic wins; wg.Wait() publishes
+	// the write.
+	var panicOnce sync.Once
+	var panicErr error
 	var wg sync.WaitGroup
 	workerMuts := make([][]vc.Mutation, workers)
 	chunk := (len(verts) + workers - 1) / workers
@@ -1318,6 +1343,13 @@ func (e *Engine) processBatch(br *batchRun) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicErr = fmt.Errorf("%w: vertex worker: %v", ErrPanic, r)
+					})
+				}
+			}()
 			ctx := &engineCtx{eng: e, br: br, vb: vb, adj: adj, inSources: inSources, auxBatches: auxBatches, sent: &sent, muts: &workerMuts[w]}
 			var msgBuf []vc.Msg
 			for i := lo; i < hi; i++ {
@@ -1346,6 +1378,9 @@ func (e *Engine) processBatch(br *batchRun) error {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return panicErr
+	}
 	if err, _ := firstErr.Load().(error); err != nil {
 		return err
 	}

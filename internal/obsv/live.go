@@ -62,6 +62,14 @@ type LiveVars struct {
 	QueryPagesRead  *expvar.Int // device pages read by query executions (scoped)
 	QueryPagesWrite *expvar.Int // device pages written by query executions (scoped)
 
+	// Serving-resilience counters: cumulative across the daemon's
+	// lifetime. Zero in one-shot CLI processes.
+	QueriesIsolated *expvar.Int // queries whose failed batch was isolated into solo re-runs
+	QueriesRetried  *expvar.Int // solo re-executions spent on that isolation
+	PanicsRecovered *expvar.Int // panics contained at the serving boundaries
+	BreakerOpens    *expvar.Int // fault circuit-breaker open transitions
+	BreakerSheds    *expvar.Int // queries shed while the breaker was open or probing
+
 	// Per-stage IO maps, keyed by the stable obsv.Stage names: cumulative
 	// device pages each pipeline stage read and wrote across runs in the
 	// process. The OpenMetrics handler exports them as labeled samples
@@ -115,6 +123,12 @@ func Live() *LiveVars {
 			BatchedQueries:  expvar.NewInt("mlvc.batched_queries"),
 			QueryPagesRead:  expvar.NewInt("mlvc.query_pages_read"),
 			QueryPagesWrite: expvar.NewInt("mlvc.query_pages_written"),
+
+			QueriesIsolated: expvar.NewInt("mlvc.queries_isolated"),
+			QueriesRetried:  expvar.NewInt("mlvc.queries_retried"),
+			PanicsRecovered: expvar.NewInt("mlvc.panics_recovered"),
+			BreakerOpens:    expvar.NewInt("mlvc.breaker_opens"),
+			BreakerSheds:    expvar.NewInt("mlvc.breaker_sheds"),
 
 			StagePagesRead:    expvar.NewMap("mlvc.stage_pages_read"),
 			StagePagesWritten: expvar.NewMap("mlvc.stage_pages_written"),

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multilogvc/internal/apps"
@@ -17,25 +19,38 @@ import (
 // pointQuery is one admitted point query waiting for (a share of) an
 // engine execution.
 type pointQuery struct {
-	source   uint32
-	deadline time.Time
-	done     chan pointResult // buffered(1); runBatch never blocks on it
+	source    uint32
+	deadline  time.Time
+	done      chan pointResult // buffered(1)
+	delivered atomic.Bool      // deliver() wins exactly once
 }
 
-// pointResult is what one query gets back from its batch.
+// deliver hands the query its result exactly once. The panic-recovery
+// path re-fails a batch without knowing which members already heard
+// back; the CAS makes double delivery a no-op instead of a blocked send.
+func (q *pointQuery) deliver(res pointResult) {
+	if q.delivered.CompareAndSwap(false, true) {
+		q.done <- res
+	}
+}
+
+// pointResult is what one query gets back from its batch (or from its
+// solo re-run, when batch fault isolation kicked in).
 type pointResult struct {
 	values       []uint32 // this lane's per-vertex distances (Inf = unreached)
 	batchSize    int
 	supersteps   int
-	pagesRead    uint64 // the whole batch's scoped device reads
+	pagesRead    uint64 // the whole execution's scoped device reads
 	pagesWritten uint64
+	isolated     bool // answered by a solo re-run after its batch faulted
 	err          error
 }
 
 // batcher coalesces compatible point queries of one app kind. The first
 // query to arrive opens a window (Options.BatchWindow); companions
 // arriving inside it join the same lane-batched execution. A full batch
-// (Options.MaxBatch) flushes early.
+// (Options.MaxBatch) flushes early. Under brownout (breaker pressure)
+// both limits shrink so a faulty execution has fewer co-batched victims.
 type batcher struct {
 	s    *Server
 	kind string // "bfs" or "sssp"
@@ -52,20 +67,21 @@ func newBatcher(s *Server, kind string) *batcher {
 // enqueue admits q into the current window, flushing when the batch
 // fills. Returns an error only when the server is draining.
 func (b *batcher) enqueue(q *pointQuery) error {
+	maxBatch, window := b.s.batchParams()
 	b.mu.Lock()
 	if b.s.closed.Load() {
 		b.mu.Unlock()
 		return fmt.Errorf("serve: shutting down")
 	}
 	b.pending = append(b.pending, q)
-	if len(b.pending) >= b.s.opts.MaxBatch {
+	if len(b.pending) >= maxBatch {
 		batch := b.takeLocked()
 		b.mu.Unlock()
 		b.launch(batch)
 		return nil
 	}
 	if len(b.pending) == 1 {
-		b.timer = time.AfterFunc(b.s.opts.BatchWindow, b.flushNow)
+		b.timer = time.AfterFunc(window, b.flushNow)
 	}
 	b.mu.Unlock()
 	return nil
@@ -99,18 +115,51 @@ func (b *batcher) launch(batch []*pointQuery) {
 	go b.runBatch(batch)
 }
 
+// retryable reports whether a failed batch execution is worth isolating:
+// the fault families where re-running members individually can plausibly
+// succeed (a transient storm that exhausted retries, corruption that a
+// fresh run's fresh scratch won't re-read, quota pressure that smaller
+// solo runs fit under). Deadlines and cancellations are not — the
+// members' own deadlines are as dead solo as batched.
+func retryable(err error) bool {
+	return errors.Is(err, ssd.ErrRetriesExhausted) ||
+		errors.Is(err, core.ErrCorruptData) ||
+		errors.Is(err, ssd.ErrCorruptPage) ||
+		errors.Is(err, ssd.ErrNoSpace)
+}
+
 // runBatch executes one lane-batched engine run for batch and fans the
 // per-lane results back out. The batch's context deadline is the LATEST
 // member deadline: a member whose own deadline passes while a
 // longer-deadline companion keeps the run alive still gets its result
 // ("late but computed" beats recomputing), while a batch whose every
-// member expired is cut and everyone gets a classified deadline error.
+// member expired is cut before it costs an execution slot. A retryable
+// device fault does not fail the companions: surviving members re-run
+// solo within their remaining deadlines (batch fault isolation).
 func (b *batcher) runBatch(batch []*pointQuery) {
 	defer b.s.wg.Done()
+	live := obsv.Live()
 
-	// One execution slot from the admission semaphore.
-	b.s.sem <- struct{}{}
-	defer func() { <-b.s.sem }()
+	// Panic containment at the batch-goroutine boundary: a panic here
+	// (engine internals beyond core's own recovery, or serving code)
+	// must not kill the daemon. Members that have not heard back get a
+	// classified internal error; the run's scratch namespace is swept
+	// (the engine's own ephemeral sweep already ran during unwinding if
+	// the panic rose through it — this one covers panics around it).
+	var tag string
+	defer func() {
+		if rec := recover(); rec != nil {
+			live.PanicsRecovered.Add(1)
+			if tag != "" {
+				_, _ = b.s.dev.RemovePrefix(b.s.g.Name() + "." + tag + ".")
+			}
+			err := fmt.Errorf("serve: panic in batch execution: %v", rec)
+			for _, q := range batch {
+				q.deliver(pointResult{err: err, batchSize: len(batch)})
+			}
+			b.s.brk.recordN(outcomeNeutral, len(batch))
+		}
+	}()
 
 	sources := make([]uint32, len(batch))
 	latest := batch[0].deadline
@@ -119,6 +168,27 @@ func (b *batcher) runBatch(batch []*pointQuery) {
 		if q.deadline.After(latest) {
 			latest = q.deadline
 		}
+	}
+
+	// Fast-fail a fully-expired batch before it costs anything: no
+	// semaphore slot, no program build, no engine. (Queries park in the
+	// batching window and the admission queue; a short-deadline batch
+	// can be dead on flush.)
+	if !latest.After(time.Now()) {
+		err := fmt.Errorf("serve: every batch member's deadline expired before execution: %w", core.ErrDeadline)
+		for _, q := range batch {
+			q.deliver(pointResult{err: err, batchSize: len(batch)})
+		}
+		b.s.brk.recordN(outcomeNeutral, len(batch))
+		return
+	}
+
+	// One execution slot from the admission semaphore.
+	b.s.sem <- struct{}{}
+	defer func() { <-b.s.sem }()
+
+	if b.s.testBatchHook != nil {
+		b.s.testBatchHook(b.kind, len(batch))
 	}
 
 	var prog vc.Program
@@ -132,16 +202,125 @@ func (b *batcher) runBatch(batch []*pointQuery) {
 		err = fmt.Errorf("serve: unknown batch kind %q", b.kind)
 	}
 	if err != nil {
-		b.fail(batch, err)
+		for _, q := range batch {
+			q.deliver(pointResult{err: err, batchSize: len(batch)})
+		}
+		b.s.brk.recordN(outcomeNeutral, len(batch))
 		return
 	}
 
+	tag = fmt.Sprintf("q%d", b.s.runSeq.Add(1))
+	ctx, cancel := context.WithDeadline(context.Background(), latest)
+	defer cancel()
+	res, st, err := b.s.runEngine(ctx, tag, prog)
+
+	live.BatchesRun.Add(1)
+	if len(batch) > 1 {
+		live.BatchedQueries.Add(int64(len(batch)))
+	}
+	live.QueryPagesRead.Add(int64(st.PagesRead))
+	live.QueryPagesWrite.Add(int64(st.PagesWritten))
+
+	if err != nil {
+		if len(batch) > 1 && retryable(err) {
+			b.isolate(batch, err)
+			return
+		}
+		o := outcomeNeutral
+		if retryable(err) {
+			o = outcomeFault
+		}
+		for _, q := range batch {
+			q.deliver(pointResult{err: err, batchSize: len(batch)})
+		}
+		b.s.brk.recordN(o, len(batch))
+		return
+	}
+	for i, q := range batch {
+		q.deliver(pointResult{
+			values:       apps.LaneResult(res.Values, len(batch), i),
+			batchSize:    len(batch),
+			supersteps:   len(res.Report.Supersteps),
+			pagesRead:    st.PagesRead,
+			pagesWritten: st.PagesWritten,
+		})
+	}
+	b.s.brk.recordN(outcomeSuccess, len(batch))
+}
+
+// isolate is batch fault isolation: the lane-batched execution died of a
+// retryable device fault, so each member with deadline remaining re-runs
+// as an individual single-source execution instead of inheriting its
+// companions' failure. Solo runs execute sequentially under the batch's
+// admission slot — isolation is bounded to one extra run per member and
+// never multiplies the daemon's engine concurrency.
+func (b *batcher) isolate(batch []*pointQuery, batchErr error) {
+	live := obsv.Live()
+	live.QueriesIsolated.Add(int64(len(batch)))
+	for _, q := range batch {
+		if !q.deadline.After(time.Now()) {
+			// No time left for a solo run: the batch's classified fault
+			// is this member's honest outcome.
+			q.deliver(pointResult{err: batchErr, batchSize: len(batch)})
+			b.s.brk.record(outcomeFault)
+			continue
+		}
+		live.QueriesRetried.Add(1)
+		res := b.runSolo(q, batchErr)
+		o := outcomeSuccess
+		if res.err != nil {
+			o = outcomeNeutral
+			if retryable(res.err) {
+				o = outcomeFault
+			}
+		}
+		q.deliver(res)
+		b.s.brk.record(o)
+	}
+}
+
+// runSolo executes one member's single-source program under its own
+// deadline, scratch namespace, and IO scope.
+func (b *batcher) runSolo(q *pointQuery, batchErr error) pointResult {
+	prog, err := apps.NewPoint(b.kind, q.source)
+	if err != nil {
+		return pointResult{err: err, batchSize: 1}
+	}
+	tag := fmt.Sprintf("q%d", b.s.runSeq.Add(1))
+	ctx, cancel := context.WithDeadline(context.Background(), q.deadline)
+	defer cancel()
+	res, st, err := b.s.runEngine(ctx, tag, prog)
+
+	live := obsv.Live()
+	live.BatchesRun.Add(1)
+	live.QueryPagesRead.Add(int64(st.PagesRead))
+	live.QueryPagesWrite.Add(int64(st.PagesWritten))
+	if err != nil {
+		return pointResult{
+			err:       fmt.Errorf("batch failed (%v); solo retry failed: %w", batchErr, err),
+			batchSize: 1, isolated: true,
+		}
+	}
+	return pointResult{
+		values:       res.Values,
+		batchSize:    1,
+		supersteps:   len(res.Report.Supersteps),
+		pagesRead:    st.PagesRead,
+		pagesWritten: st.PagesWritten,
+		isolated:     true,
+	}
+}
+
+// runEngine is the one place a serving execution is configured: private
+// scratch namespace, ephemeral cleanup on any exit, per-run IO scope,
+// shared cache with a private prefetcher.
+func (s *Server) runEngine(ctx context.Context, tag string, prog vc.Program) (*core.Result, ssd.Stats, error) {
 	sc := ssd.NewScope()
 	cfg := core.Config{
-		MemoryBudget:  b.s.opts.MemoryBudget,
-		MaxSupersteps: b.s.opts.MaxSupersteps,
-		Cache:         b.s.opts.Cache,
-		RunTag:        fmt.Sprintf("q%d", b.s.runSeq.Add(1)),
+		MemoryBudget:  s.opts.MemoryBudget,
+		MaxSupersteps: s.opts.MaxSupersteps,
+		Cache:         s.opts.Cache,
+		RunTag:        tag,
 		Ephemeral:     true,
 		Scope:         sc,
 	}
@@ -150,37 +329,6 @@ func (b *batcher) runBatch(batch []*pointQuery) {
 		defer pf.Close()
 		cfg.Prefetcher = pf
 	}
-
-	ctx, cancel := context.WithDeadline(context.Background(), latest)
-	defer cancel()
-	res, err := core.New(b.s.g, cfg).RunCtx(ctx, prog)
-
-	live := obsv.Live()
-	live.BatchesRun.Add(1)
-	if len(batch) > 1 {
-		live.BatchedQueries.Add(int64(len(batch)))
-	}
-	st := sc.Stats()
-	live.QueryPagesRead.Add(int64(st.PagesRead))
-	live.QueryPagesWrite.Add(int64(st.PagesWritten))
-
-	if err != nil {
-		b.fail(batch, err)
-		return
-	}
-	for i, q := range batch {
-		q.done <- pointResult{
-			values:       apps.LaneResult(res.Values, len(batch), i),
-			batchSize:    len(batch),
-			supersteps:   len(res.Report.Supersteps),
-			pagesRead:    st.PagesRead,
-			pagesWritten: st.PagesWritten,
-		}
-	}
-}
-
-func (b *batcher) fail(batch []*pointQuery, err error) {
-	for _, q := range batch {
-		q.done <- pointResult{err: err, batchSize: len(batch)}
-	}
+	res, err := core.New(s.g, cfg).RunCtx(ctx, prog)
+	return res, sc.Stats(), err
 }

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// The fault circuit breaker is the daemon's health model: a sliding
+// window of per-query execution outcomes that trips open under sustained
+// device faults (retries exhausted, unrecoverable corruption, quota held
+// after reclamation), sheds load with 503 + Retry-After while open, and
+// probes its way closed again once the device recovers. The serving plane
+// inherits the engine's fault classification (internal/serve errors.go);
+// the breaker turns that per-query signal into an operator-facing
+// liveness/readiness state and into brownout pressure on the batching
+// parameters.
+//
+// State machine:
+//
+//	closed     outcomes feed the window; fault rate >= Threshold over
+//	           >= MinSamples outcomes trips open.
+//	open       every query is shed with breaker_open + Retry-After until
+//	           Cooldown elapses, then the next arrival flips half-open.
+//	half-open  up to Probes queries are admitted concurrently; Probes
+//	           consecutive successes close the breaker (window reset),
+//	           any fault re-opens it for another Cooldown.
+//
+// Outcomes are ternary: fault (device evidence), success, and neutral
+// (deadlines, cancellations, panics, shutdown — real failures, but not
+// evidence the device is sick). Neutral outcomes keep the half-open
+// probe accounting balanced without polluting the window.
+
+// Breaker outcome classes, recorded once per admitted query at its final
+// resolution.
+type outcome int
+
+const (
+	outcomeSuccess outcome = iota
+	outcomeFault
+	outcomeNeutral
+)
+
+// Breaker states, exposed verbatim in /stats and /readyz.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half_open"
+)
+
+type breakerConfig struct {
+	window     int           // sliding-window size in outcomes
+	threshold  float64       // fault rate that trips the breaker
+	minSamples int           // outcomes required before tripping
+	cooldown   time.Duration // open -> half-open delay
+	probes     int           // concurrent half-open probes; also successes to close
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.window <= 0 {
+		c.window = 32
+	}
+	if c.threshold <= 0 || c.threshold > 1 {
+		c.threshold = 0.5
+	}
+	if c.minSamples <= 0 {
+		c.minSamples = 8
+	}
+	if c.minSamples > c.window {
+		c.minSamples = c.window
+	}
+	if c.cooldown <= 0 {
+		c.cooldown = 5 * time.Second
+	}
+	if c.probes <= 0 {
+		c.probes = 2
+	}
+	return c
+}
+
+// breaker is safe for concurrent use by every handler and batch
+// goroutine. The clock is injectable so unit tests drive the cooldown
+// deterministically.
+type breaker struct {
+	cfg    breakerConfig
+	now    func() time.Time
+	onOpen func() // fires on every closed/half-open -> open transition
+
+	mu       sync.Mutex
+	state    string
+	ring     []bool // true = fault
+	idx      int
+	filled   int
+	faults   int
+	openedAt time.Time
+	inFlight int // half-open probes admitted but unresolved
+	closeRun int // consecutive half-open probe successes
+}
+
+func newBreaker(cfg breakerConfig, onOpen func()) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: time.Now, state: breakerClosed, onOpen: onOpen}
+}
+
+// admit decides whether a query may enter the serving plane. A false
+// return carries the Retry-After hint in seconds. Every true return MUST
+// be balanced by exactly one record call once the query resolves —
+// half-open probe accounting depends on it.
+func (b *breaker) admit() (ok bool, retryAfter int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		remaining := b.cfg.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, retrySeconds(remaining)
+		}
+		// Cooldown served: this arrival is the first probe.
+		b.state = breakerHalfOpen
+		b.inFlight = 0
+		b.closeRun = 0
+		fallthrough
+	default: // half-open
+		if b.inFlight >= b.cfg.probes {
+			return false, 1
+		}
+		b.inFlight++
+		return true, 0
+	}
+}
+
+// record resolves one admitted query. Faults push the window toward open
+// (closed) or trip it immediately (half-open); successes close a
+// half-open breaker after cfg.probes in a row; neutral outcomes only
+// release probe slots.
+func (b *breaker) record(o outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if o == outcomeNeutral {
+			return
+		}
+		if len(b.ring) == 0 {
+			b.ring = make([]bool, b.cfg.window)
+		}
+		if b.filled == len(b.ring) && b.ring[b.idx] {
+			b.faults--
+		}
+		b.ring[b.idx] = o == outcomeFault
+		if o == outcomeFault {
+			b.faults++
+		}
+		b.idx = (b.idx + 1) % len(b.ring)
+		if b.filled < len(b.ring) {
+			b.filled++
+		}
+		if b.filled >= b.cfg.minSamples &&
+			float64(b.faults)/float64(b.filled) >= b.cfg.threshold {
+			b.tripLocked()
+		}
+	case breakerHalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		switch o {
+		case outcomeFault:
+			b.tripLocked()
+		case outcomeSuccess:
+			b.closeRun++
+			if b.closeRun >= b.cfg.probes {
+				b.state = breakerClosed
+				b.filled, b.faults, b.idx = 0, 0, 0
+				b.inFlight, b.closeRun = 0, 0
+			}
+		}
+	case breakerOpen:
+		// A straggler from before the trip; its evidence is stale.
+	}
+}
+
+// recordN resolves n queries with the same outcome (a batch fanning out).
+func (b *breaker) recordN(o outcome, n int) {
+	for i := 0; i < n; i++ {
+		b.record(o)
+	}
+}
+
+// tripLocked transitions to open; the caller holds b.mu.
+func (b *breaker) tripLocked() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.filled, b.faults, b.idx = 0, 0, 0
+	b.inFlight, b.closeRun = 0, 0
+	if b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// breakerSnapshot is the operator view, embedded in /stats and /readyz.
+type breakerSnapshot struct {
+	State string `json:"state"`
+	// FaultRate is the windowed fault rate feeding the trip decision
+	// (meaningful while closed; the window resets on every transition).
+	FaultRate float64 `json:"fault_rate"`
+	Samples   int     `json:"samples"`
+	// RetryAfterS is the shed hint while open, 0 otherwise.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+func (b *breaker) snapshot() breakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := breakerSnapshot{State: b.state, Samples: b.filled}
+	if b.filled > 0 {
+		s.FaultRate = float64(b.faults) / float64(b.filled)
+	}
+	if b.state == breakerOpen {
+		if remaining := b.cfg.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
+			s.RetryAfterS = retrySeconds(remaining)
+		} else {
+			s.RetryAfterS = 1
+		}
+	}
+	return s
+}
+
+// brownout reports whether the serving plane should shrink its batching
+// parameters: any non-closed state, or a closed window already at half
+// the trip threshold. Smaller batches bound the blast radius of the next
+// faulty execution (fewer co-batched victims to isolate) while the
+// device is suspect.
+func (b *breaker) brownout() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		return true
+	}
+	return b.filled >= (b.cfg.minSamples+1)/2 &&
+		float64(b.faults)/float64(b.filled) >= b.cfg.threshold/2
+}
+
+// retrySeconds rounds a duration up to whole seconds, floor 1.
+func retrySeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

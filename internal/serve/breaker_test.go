@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(cfg breakerConfig) (*breaker, *fakeClock, *int) {
+	opens := 0
+	b := newBreaker(cfg, func() { opens++ })
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk, &opens
+}
+
+// TestBreakerLifecycle walks the full state machine: closed under mixed
+// traffic, open at the fault threshold, shedding with a Retry-After
+// bounded by the cooldown, half-open probes after the cooldown, and
+// closed again after consecutive probe successes.
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk, opens := newTestBreaker(breakerConfig{
+		window: 8, threshold: 0.5, minSamples: 4, cooldown: 10 * time.Second, probes: 2,
+	})
+
+	// Below min samples nothing trips, even at 100% faults.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.admit(); !ok {
+			t.Fatal("closed breaker denied admission")
+		}
+		b.record(outcomeFault)
+	}
+	if st := b.snapshot(); st.State != breakerClosed {
+		t.Fatalf("state %s before min samples", st.State)
+	}
+
+	// The 4th fault reaches minSamples at rate 1.0: open.
+	b.admit()
+	b.record(outcomeFault)
+	if st := b.snapshot(); st.State != breakerOpen {
+		t.Fatalf("state %s after sustained faults, want open", st.State)
+	}
+	if *opens != 1 {
+		t.Fatalf("onOpen fired %d times, want 1", *opens)
+	}
+
+	// Open: shed with a Retry-After no larger than the cooldown.
+	ok, ra := b.admit()
+	if ok {
+		t.Fatal("open breaker admitted a query")
+	}
+	if ra < 1 || ra > 10 {
+		t.Fatalf("Retry-After %ds, want within (0,10]", ra)
+	}
+
+	// Cooldown served: next arrival is a half-open probe; concurrency is
+	// capped at cfg.probes.
+	clk.advance(11 * time.Second)
+	if ok, _ := b.admit(); !ok {
+		t.Fatal("first half-open probe denied")
+	}
+	if st := b.snapshot(); st.State != breakerHalfOpen {
+		t.Fatalf("state %s after cooldown admission, want half_open", st.State)
+	}
+	if ok, _ := b.admit(); !ok {
+		t.Fatal("second half-open probe denied")
+	}
+	if ok, _ := b.admit(); ok {
+		t.Fatal("third concurrent probe admitted past the cap")
+	}
+
+	// Two successful probes close the breaker with a reset window.
+	b.record(outcomeSuccess)
+	b.record(outcomeSuccess)
+	st := b.snapshot()
+	if st.State != breakerClosed {
+		t.Fatalf("state %s after probe successes, want closed", st.State)
+	}
+	if st.Samples != 0 {
+		t.Fatalf("window not reset on close: %d samples", st.Samples)
+	}
+}
+
+// TestBreakerHalfOpenFaultReopens: one faulty probe sends it straight
+// back to open for another full cooldown.
+func TestBreakerHalfOpenFaultReopens(t *testing.T) {
+	b, clk, opens := newTestBreaker(breakerConfig{
+		window: 8, threshold: 0.5, minSamples: 2, cooldown: 5 * time.Second, probes: 1,
+	})
+	b.admit()
+	b.record(outcomeFault)
+	b.admit()
+	b.record(outcomeFault) // trips
+	clk.advance(6 * time.Second)
+	if ok, _ := b.admit(); !ok {
+		t.Fatal("probe denied after cooldown")
+	}
+	b.record(outcomeFault)
+	if st := b.snapshot(); st.State != breakerOpen {
+		t.Fatalf("state %s after faulty probe, want open", st.State)
+	}
+	if *opens != 2 {
+		t.Fatalf("onOpen fired %d times, want 2", *opens)
+	}
+	if ok, _ := b.admit(); ok {
+		t.Fatal("reopened breaker admitted before the new cooldown")
+	}
+}
+
+// TestBreakerNeutralOutcomes: deadlines and cancellations release probe
+// slots without feeding the fault window either way.
+func TestBreakerNeutralOutcomes(t *testing.T) {
+	b, clk, _ := newTestBreaker(breakerConfig{
+		window: 8, threshold: 0.5, minSamples: 2, cooldown: 5 * time.Second, probes: 1,
+	})
+	// Neutral outcomes never accumulate samples.
+	for i := 0; i < 10; i++ {
+		b.admit()
+		b.record(outcomeNeutral)
+	}
+	if st := b.snapshot(); st.State != breakerClosed || st.Samples != 0 {
+		t.Fatalf("neutral outcomes polluted the window: %+v", st)
+	}
+
+	// In half-open, a neutral probe frees the slot without closing.
+	b.admit()
+	b.record(outcomeFault)
+	b.admit()
+	b.record(outcomeFault)
+	clk.advance(6 * time.Second)
+	b.admit()                // the probe
+	b.record(outcomeNeutral) // its deadline expired
+	if st := b.snapshot(); st.State != breakerHalfOpen {
+		t.Fatalf("state %s after neutral probe, want half_open", st.State)
+	}
+	if ok, _ := b.admit(); !ok {
+		t.Fatal("probe slot not released by neutral outcome")
+	}
+}
+
+// TestBreakerSlidingWindow: old faults age out, so a burst followed by
+// sustained health never trips.
+func TestBreakerSlidingWindow(t *testing.T) {
+	b, _, opens := newTestBreaker(breakerConfig{
+		window: 4, threshold: 0.75, minSamples: 4, cooldown: time.Second, probes: 1,
+	})
+	outcomes := []outcome{outcomeFault, outcomeFault, outcomeSuccess, outcomeSuccess,
+		outcomeSuccess, outcomeSuccess, outcomeFault, outcomeSuccess}
+	for _, o := range outcomes {
+		if ok, _ := b.admit(); !ok {
+			t.Fatal("denied while rate below threshold")
+		}
+		b.record(o)
+	}
+	if *opens != 0 {
+		t.Fatalf("breaker opened %d times on a sub-threshold mix", *opens)
+	}
+	// The last 4 outcomes are S,S,F,S: rate 0.25.
+	if st := b.snapshot(); st.FaultRate != 0.25 {
+		t.Fatalf("windowed rate %.2f, want 0.25", st.FaultRate)
+	}
+}
+
+// TestBreakerBrownout: brownout engages at half the trip threshold and
+// in every non-closed state, and releases when the window clears.
+func TestBreakerBrownout(t *testing.T) {
+	b, clk, _ := newTestBreaker(breakerConfig{
+		window: 8, threshold: 0.5, minSamples: 4, cooldown: 5 * time.Second, probes: 1,
+	})
+	if b.brownout() {
+		t.Fatal("brownout on a fresh breaker")
+	}
+	// 1 fault + 3 successes = rate 0.25 = threshold/2 over >= minSamples/2.
+	b.record(outcomeFault)
+	b.record(outcomeSuccess)
+	b.record(outcomeSuccess)
+	b.record(outcomeSuccess)
+	if !b.brownout() {
+		t.Fatal("no brownout at half the trip threshold")
+	}
+	// Healthy traffic washes the fault out of the window.
+	for i := 0; i < 8; i++ {
+		b.record(outcomeSuccess)
+	}
+	if b.brownout() {
+		t.Fatal("brownout held after the window cleared")
+	}
+	// Open and half-open always brown out.
+	for i := 0; i < 8; i++ {
+		b.record(outcomeFault)
+	}
+	if st := b.snapshot(); st.State != breakerOpen {
+		t.Fatalf("setup: state %s, want open", st.State)
+	}
+	if !b.brownout() {
+		t.Fatal("no brownout while open")
+	}
+	clk.advance(6 * time.Second)
+	b.admit()
+	if !b.brownout() {
+		t.Fatal("no brownout while half-open")
+	}
+}

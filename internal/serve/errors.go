@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"multilogvc/internal/core"
 	"multilogvc/internal/ssd"
@@ -19,11 +20,16 @@ import (
 //	deadline       504  query or batch deadline expired (retry with a longer one)
 //	overloaded     503  admission queue full (back off and retry)
 //	shutting_down  503  server draining (retry against a peer)
+//	breaker_open   503  fault circuit breaker shedding (honor Retry-After)
 //	no_space       507  device quota held even after reclamation
 //	device_fault   500  transient retries exhausted
 //	corrupt        500  data failed checksum beyond recovery
 //	bad_request    400  malformed query
-//	internal       500  anything else
+//	internal       500  anything else, panics included
+//
+// Every 503 and 507 carries a Retry-After header: a well-behaved client
+// backs off exactly as long as the daemon asks, which is what lets the
+// breaker's half-open probes breathe.
 type errorBody struct {
 	Error struct {
 		Code    string `json:"code"`
@@ -49,11 +55,29 @@ func classify(err error) (string, int) {
 	}
 }
 
+// writeError emits the structured error body, with the default
+// Retry-After for shed statuses (1s for 503s, 5s for 507 — quota
+// reclamation is slower than queue drain). Use writeErrorRetry when the
+// caller knows better (the breaker's remaining cooldown).
 func writeError(w http.ResponseWriter, status int, code, msg string) {
+	retryAfter := 0
+	switch status {
+	case http.StatusServiceUnavailable:
+		retryAfter = 1
+	case http.StatusInsufficientStorage:
+		retryAfter = 5
+	}
+	writeErrorRetry(w, status, code, msg, retryAfter)
+}
+
+func writeErrorRetry(w http.ResponseWriter, status int, code, msg string, retryAfter int) {
 	var body errorBody
 	body.Error.Code = code
 	body.Error.Message = msg
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
 }

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Fault-injection control, registered only when Options.FaultControl is
+// set (mlvcd -fault-inject): POST /debug/fault re-arms or disarms the
+// device's probabilistic fault injection while the daemon runs, so a
+// cross-process harness (the CI fault smoke) can drive a
+// fault-storm -> breaker-open -> disarm -> recovery cycle against a real
+// daemon without restarting it. Strictly a testing surface — production
+// deployments leave FaultControl off and the endpoint absent.
+
+// faultRequest arms the fields it names and leaves the rest untouched;
+// a zero probability disarms that injector.
+type faultRequest struct {
+	TransientProb *float64 `json:"transient_prob,omitempty"`
+	CorruptProb   *float64 `json:"corrupt_prob,omitempty"`
+	NoSpaceProb   *float64 `json:"nospace_prob,omitempty"`
+	// CorruptOnly restricts corruption injection to files whose name
+	// contains the substring (empty = all files).
+	CorruptOnly *string `json:"corrupt_only,omitempty"`
+	// Seed makes the probabilistic draws reproducible; defaults to 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required")
+		return
+	}
+	var req faultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	armed := map[string]float64{}
+	if req.TransientProb != nil {
+		s.dev.FailTransientProb(*req.TransientProb, seed)
+		armed["transient_prob"] = *req.TransientProb
+	}
+	if req.CorruptOnly != nil {
+		s.dev.CorruptOnly(*req.CorruptOnly)
+	}
+	if req.CorruptProb != nil {
+		s.dev.FailCorruptProb(*req.CorruptProb, seed|1)
+		armed["corrupt_prob"] = *req.CorruptProb
+	}
+	if req.NoSpaceProb != nil {
+		s.dev.FailNoSpaceProb(*req.NoSpaceProb, seed|3)
+		armed["nospace_prob"] = *req.NoSpaceProb
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "armed": armed})
+}

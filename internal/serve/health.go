@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Health model: /healthz is liveness (the process answers HTTP — true
+// even while the breaker is open, because an open breaker is the daemon
+// doing its job, not the daemon being dead), /readyz is readiness (safe
+// to route query traffic here). A load balancer keeps an unready daemon
+// in the pool for /healthz but steers queries away until the breaker
+// closes again.
+
+// handleHealthz is the liveness probe: 200 for as long as the handler
+// goroutine can run, with uptime for operators eyeballing restarts.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   "ok",
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// handleReadyz is the readiness probe: 503 while draining or while the
+// fault breaker is anything but closed. Half-open is still unready — the
+// daemon is probing its own device with a trickle of real queries and
+// should not yet receive full traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	bs := s.brk.snapshot()
+	body := map[string]interface{}{
+		"ready":   true,
+		"breaker": bs,
+	}
+	switch {
+	case s.closed.Load():
+		body["ready"] = false
+		body["reason"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case bs.State != breakerClosed:
+		body["ready"] = false
+		body["reason"] = "breaker_" + bs.State
+		ra := bs.RetryAfterS
+		if ra <= 0 {
+			ra = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
+}

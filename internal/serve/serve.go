@@ -68,6 +68,26 @@ type Options struct {
 	// MemoryBudget is the per-execution engine budget; 0 keeps the
 	// engine default (64 MiB).
 	MemoryBudget int64
+
+	// BreakerWindow is the fault circuit breaker's sliding window in
+	// query outcomes; defaults to 32.
+	BreakerWindow int
+	// BreakerThreshold is the windowed fault rate that opens the
+	// breaker; defaults to 0.5.
+	BreakerThreshold float64
+	// BreakerMinSamples is the minimum outcomes before the breaker may
+	// open; defaults to 8.
+	BreakerMinSamples int
+	// BreakerCooldown is how long an open breaker sheds before admitting
+	// half-open probes; defaults to 5s.
+	BreakerCooldown time.Duration
+	// BreakerProbes is the half-open concurrency (and the consecutive
+	// successes required to close); defaults to 2.
+	BreakerProbes int
+
+	// FaultControl registers POST /debug/fault, the cross-process
+	// fault-injection control surface. Testing only.
+	FaultControl bool
 }
 
 func (o Options) withDefaults() Options {
@@ -104,14 +124,21 @@ type Server struct {
 	dev  *ssd.Device
 	mux  *http.ServeMux
 
-	sem    chan struct{} // MaxConcurrent execution slots
-	runSeq atomic.Uint64 // RunTag sequence: q1, q2, ...
-	queued atomic.Int64  // admitted-not-finished queries, vs MaxQueue
-	closed atomic.Bool   // shutting down: shed new queries
-	wg     sync.WaitGroup
+	sem     chan struct{} // MaxConcurrent execution slots
+	runSeq  atomic.Uint64 // RunTag sequence: q1, q2, ...
+	queued  atomic.Int64  // admitted-not-finished queries, vs MaxQueue
+	closed  atomic.Bool   // shutting down: shed new queries
+	started time.Time     // for /healthz uptime
+	wg      sync.WaitGroup
 
+	brk  *breaker // fault circuit breaker (health model)
 	bfs  *batcher
 	sssp *batcher
+
+	// testBatchHook, when set by an in-package test, runs at the top of
+	// every batch execution (after the admission slot is held) — the
+	// injection point for panic-containment tests.
+	testBatchHook func(kind string, batchSize int)
 }
 
 // New builds a Server over a resident graph.
@@ -121,11 +148,19 @@ func New(opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts: opts,
-		g:    opts.Graph,
-		dev:  opts.Graph.Device(),
-		sem:  make(chan struct{}, opts.MaxConcurrent),
+		opts:    opts,
+		g:       opts.Graph,
+		dev:     opts.Graph.Device(),
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		started: time.Now(),
 	}
+	s.brk = newBreaker(breakerConfig{
+		window:     opts.BreakerWindow,
+		threshold:  opts.BreakerThreshold,
+		minSamples: opts.BreakerMinSamples,
+		cooldown:   opts.BreakerCooldown,
+		probes:     opts.BreakerProbes,
+	}, func() { obsv.Live().BreakerOpens.Add(1) })
 	s.bfs = newBatcher(s, "bfs")
 	s.sssp = newBatcher(s, "sssp")
 
@@ -135,6 +170,11 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("/walk", s.handleWalk)
 	mux.HandleFunc("/graph", s.handleGraph)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	if opts.FaultControl {
+		mux.HandleFunc("/debug/fault", s.handleFault)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", obsv.MetricsHandler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -142,14 +182,44 @@ func New(opts Options) (*Server, error) {
 			writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
 			return
 		}
-		fmt.Fprintln(w, "mlvcd: POST /query/bfs /query/sssp /walk; GET /graph /stats /metrics /debug/vars")
+		fmt.Fprintln(w, "mlvcd: POST /query/bfs /query/sssp /walk; GET /graph /stats /healthz /readyz /metrics /debug/vars")
 	})
 	s.mux = mux
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, containing handler panics: net/http
+// would keep the process alive anyway, but it aborts the connection with
+// no body — this boundary turns the panic into the same structured
+// internal error every other failure wears, and counts it.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			obsv.Live().PanicsRecovered.Add(1)
+			// Best-effort: if the handler already wrote a header this is
+			// a no-op body on a torn response, which is all that can be
+			// promised mid-panic.
+			writeError(w, http.StatusInternalServerError, "internal",
+				fmt.Sprintf("panic in request handler: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// batchParams returns the effective MaxBatch and BatchWindow, shrunk 4×
+// under brownout: while the breaker suspects the device, smaller batches
+// mean fewer co-batched victims per faulty execution and cheaper solo
+// isolation when one does fault.
+func (s *Server) batchParams() (int, time.Duration) {
+	if s.brk.brownout() {
+		mb := s.opts.MaxBatch / 4
+		if mb < 1 {
+			mb = 1
+		}
+		return mb, s.opts.BatchWindow / 4
+	}
+	return s.opts.MaxBatch, s.opts.BatchWindow
+}
 
 // Close drains the server: new queries are shed with 503, queued batches
 // flush immediately, and Close returns once every in-flight execution has
@@ -182,6 +252,9 @@ type pointResponse struct {
 	Source     uint32 `json:"source"`
 	BatchSize  int    `json:"batch_size"`
 	Supersteps int    `json:"supersteps"`
+	// Isolated marks a result computed by a solo re-run after the
+	// query's original batch died of a retryable device fault.
+	Isolated bool `json:"isolated,omitempty"`
 	// Reached counts vertices with a finite distance (source included).
 	Reached uint64 `json:"reached"`
 	// BatchPagesRead/Written is the batch's scoped device IO, shared by
@@ -242,8 +315,20 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, b *batcher)
 	}
 	defer s.queued.Add(-1)
 
+	// The breaker gates admission last: a query it admits is recorded
+	// exactly once at its final resolution (in the batch/solo paths), so
+	// half-open probe accounting stays balanced.
+	if ok, retryAfter := s.brk.admit(); !ok {
+		live.QueriesShed.Add(1)
+		live.BreakerSheds.Add(1)
+		writeErrorRetry(w, http.StatusServiceUnavailable, "breaker_open",
+			"fault circuit breaker is open; device faults are being shed", retryAfter)
+		return
+	}
+
 	q := &pointQuery{source: req.Source, deadline: deadline, done: make(chan pointResult, 1)}
 	if err := b.enqueue(q); err != nil {
+		s.brk.record(outcomeNeutral)
 		live.QueriesShed.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
 		return
@@ -274,6 +359,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, b *batcher)
 			Source:            req.Source,
 			BatchSize:         res.batchSize,
 			Supersteps:        res.supersteps,
+			Isolated:          res.isolated,
 			BatchPagesRead:    res.pagesRead,
 			BatchPagesWritten: res.pagesWritten,
 		}
@@ -322,11 +408,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries_shed":        live.QueriesShed.Value(),
 			"query_deadlines":     live.QueryDeadlines.Value(),
 			"query_errors":        live.QueryErrors.Value(),
+			"queries_isolated":    live.QueriesIsolated.Value(),
+			"queries_retried":     live.QueriesRetried.Value(),
+			"panics_recovered":    live.PanicsRecovered.Value(),
+			"breaker_opens":       live.BreakerOpens.Value(),
+			"breaker_sheds":       live.BreakerSheds.Value(),
 			"batches_run":         live.BatchesRun.Value(),
 			"batched_queries":     live.BatchedQueries.Value(),
 			"query_pages_read":    live.QueryPagesRead.Value(),
 			"query_pages_written": live.QueryPagesWrite.Value(),
 		},
+		"breaker":        s.brk.snapshot(),
+		"brownout":       s.brk.brownout(),
 		"queued":         s.queued.Load(),
 		"max_concurrent": s.opts.MaxConcurrent,
 	}

@@ -81,6 +81,24 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
 
+	// Walks pass the same breaker gate as point queries — their CSR
+	// reads hit the same device — and record exactly one outcome.
+	if ok, retryAfter := s.brk.admit(); !ok {
+		live.QueriesShed.Add(1)
+		live.BreakerSheds.Add(1)
+		writeErrorRetry(w, http.StatusServiceUnavailable, "breaker_open",
+			"fault circuit breaker is open; device faults are being shed", retryAfter)
+		return
+	}
+	recorded := false
+	record := func(o outcome) {
+		if !recorded {
+			recorded = true
+			s.brk.record(o)
+		}
+	}
+	defer record(outcomeNeutral) // any early return not otherwise classified
+
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
@@ -119,6 +137,9 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 			}
 			nbrs, err := outEdges(cur)
 			if err != nil {
+				if retryable(err) {
+					record(outcomeFault)
+				}
 				live.QueryErrors.Add(1)
 				code, status := classify(err)
 				writeError(w, status, code, err.Error())
@@ -134,6 +155,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Paths[wi] = path
 	}
+	record(outcomeSuccess)
 	live.QueriesServed.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
