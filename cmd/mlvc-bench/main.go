@@ -88,6 +88,7 @@ var experiments = []experiment{
 	{"spill", "sort-budget spill overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.SpillOverhead(b.size) }},
 	{"serving", "multi-source query batching: pages/query at batch 1/4/16", func(b *benchCtx) (*metrics.Table, error) { return harness.Serving(b.size) }},
 	{"isolation", "batch fault isolation: clean batch vs solos vs isolation event", func(b *benchCtx) (*metrics.Table, error) { return harness.IsolationCost(b.size) }},
+	{"ingest", "streaming-ingest throughput and WAL durability overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.Ingest(b.size) }},
 }
 
 func expNames() string {

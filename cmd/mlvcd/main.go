@@ -15,6 +15,12 @@
 //	curl -X POST :8080/walk       -d '{"source":3,"walks":4,"length":8}'
 //	curl :8080/graph  ·  curl :8080/stats  ·  curl :8080/metrics
 //
+// With -ingest the daemon also accepts durable streaming mutations
+// (WAL-backed; acknowledged mutations survive kill -9):
+//
+//	mlvcd -dir /data/dev -addr :8080 -ingest
+//	curl -X POST :8080/mutate -d '{"mutations":[{"op":"add","src":3,"dst":9}]}'
+//
 // SIGINT/SIGTERM drains gracefully: in-flight batches finish, new
 // queries are shed with a structured shutting_down error.
 package main
@@ -66,6 +72,10 @@ func run(args []string) error {
 	brkMin := fs.Int("breaker-min", 8, "fault circuit breaker: min outcomes before it may open")
 	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "fault circuit breaker: open duration before half-open probes")
 	brkProbes := fs.Int("breaker-probes", 2, "fault circuit breaker: half-open probe concurrency (and successes to close)")
+	ingest := fs.Bool("ingest", false, "enable durable streaming ingest: WAL-backed POST /mutate")
+	walFlush := fs.Duration("wal-flush", 2*time.Millisecond, "WAL group-commit window; 0 flushes synchronously per batch")
+	maxPending := fs.Int("max-pending", 1<<20, "buffered delta side-entry cap; past it /mutate sheds with ingest_backpressure (0 = unbounded)")
+	mergeThreshold := fs.Int("merge-threshold", 0, "buffered side-entries that trigger a crash-atomic delta merge (0 = library default)")
 	faultInject := fs.Bool("fault-inject", false,
 		"TESTING ONLY: honor MLVCD_FAULT_{TRANSIENT,CORRUPT,NOSPACE}_PROB / MLVCD_FAULT_CORRUPT_ONLY / MLVCD_FAULT_SEED env vars and expose POST /debug/fault")
 	fs.Parse(args)
@@ -86,12 +96,28 @@ func run(args []string) error {
 		dev.AttachCache(c)
 		cache = c
 	}
-	g, err := csr.Open(dev, *name)
+	var g *csr.Graph
+	if *ingest {
+		g, err = csr.OpenIngest(dev, *name, csr.IngestOptions{
+			WAL:            true,
+			FlushEvery:     *walFlush,
+			MaxPending:     *maxPending,
+			MergeThreshold: *mergeThreshold,
+		})
+	} else {
+		g, err = csr.Open(dev, *name)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("mlvcd: opened %q: %d vertices, %d edges, %d intervals\n",
 		*name, g.NumVertices(), g.NumEdges(), len(g.Intervals()))
+	if *ingest {
+		if st := g.IngestStats(); st.WAL.Replayed > 0 || st.WAL.TornTails > 0 {
+			fmt.Printf("mlvcd: WAL replayed %d mutations (%d torn tails truncated)\n",
+				st.WAL.Replayed, st.WAL.TornTails)
+		}
+	}
 
 	// Fault injection arms AFTER the graph is opened (the open itself
 	// must not trip) and only when explicitly enabled: this is the CI
@@ -115,6 +141,8 @@ func run(args []string) error {
 		BreakerMinSamples: *brkMin,
 		BreakerCooldown:   *brkCooldown,
 		BreakerProbes:     *brkProbes,
+		EnableIngest:      *ingest,
+		MergeThreshold:    *mergeThreshold,
 		FaultControl:      *faultInject,
 	})
 	if err != nil {
@@ -148,6 +176,11 @@ func run(args []string) error {
 		return err
 	}
 	s.Close()
+	// Flush the last WAL group-commit window; acked mutations are already
+	// durable, this only hurries any batch still inside its window.
+	if err := g.CloseIngest(); err != nil {
+		fmt.Fprintf(os.Stderr, "mlvcd: WAL close: %v\n", err)
+	}
 	fmt.Println("mlvcd: drained; bye")
 	return nil
 }

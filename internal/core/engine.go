@@ -732,12 +732,14 @@ func (e *Engine) runOnce(ctx context.Context, prog vc.Program, resume bool, roll
 			// mutated graph would not match the snapshot on resume.
 			return nil, fmt.Errorf("core: structural mutation is not supported with checkpointing enabled")
 		}
-		for _, m := range stepMuts {
-			if m.Add {
-				if err := g.AddEdgeWeighted(m.Src, m.Dst, m.Weight, 0); err != nil {
-					return nil, err
-				}
-			} else if err := g.RemoveEdge(m.Src, m.Dst, 0); err != nil {
+		if len(stepMuts) > 0 {
+			// One batch per boundary: a single WAL group commit and a
+			// single published epoch cover the whole superstep's mutations.
+			ms := make([]csr.Mutation, len(stepMuts))
+			for i, m := range stepMuts {
+				ms[i] = csr.Mutation{Del: !m.Add, Src: m.Src, Dst: m.Dst, Weight: m.Weight}
+			}
+			if err := g.ApplyMutations(ms, 0); err != nil {
 				return nil, err
 			}
 		}

@@ -1,73 +1,188 @@
 package csr
 
 import (
-	"fmt"
 	"sort"
 
 	"multilogvc/internal/graphio"
-	"multilogvc/internal/ssd"
 )
 
-// DeltaSet buffers graph structural updates (§V-E). Updates are kept in
-// memory per interval and overlaid on adjacency reads; when an interval
-// accumulates more than MergeThreshold updates its CSR files are rewritten.
+// DeltaSet buffers graph structural updates (§V-E) as an epoch-ordered
+// operation log overlaid on adjacency reads. Each mutation is recorded
+// on both CSR sides (an out-op under its source, an in-op under its
+// destination) carrying the sequence number the ingest plane assigned
+// it, so a reader at epoch E applies exactly the ops with seq <= E — the
+// mechanism behind snapshot isolation (Graph.Snapshot).
+//
+// When the buffered volume crosses the merge threshold the whole delta
+// is folded into the CSR files by the crash-atomic shadow merge in
+// ingest.go, which doubles as the WAL checkpoint.
+//
 // wpair is a pending edge endpoint with its weight.
 type wpair struct {
 	id, w uint32
 }
 
+// edgeOp is one buffered structural mutation as seen from one side:
+// under vertex v, "add/del edge to/from id".
+type edgeOp struct {
+	del bool
+	id  uint32
+	w   uint32
+	seq uint64
+}
+
 type DeltaSet struct {
-	// addOut[v] / delOut[v]: pending out-edge changes of vertex v.
-	addOut map[uint32][]wpair
-	delOut map[uint32]map[uint32]bool
-	// addIn[v] / delIn[v]: pending in-edge changes (sources) of vertex v.
-	addIn map[uint32][]wpair
-	delIn map[uint32]map[uint32]bool
-	// perInterval counts pending updates per interval of the affected
-	// endpoint (out side uses src's interval, in side uses dst's).
-	perInterval map[int]int
-	merges      int
+	outOps map[uint32][]edgeOp // per-source pending out-edge ops, seq order
+	inOps  map[uint32][]edgeOp // per-destination pending in-edge ops, seq order
+	ops    int                 // buffered side-entries (2 per live mutation)
+	merges int
 }
 
 func newDeltaSet() *DeltaSet {
 	return &DeltaSet{
-		addOut:      make(map[uint32][]wpair),
-		delOut:      make(map[uint32]map[uint32]bool),
-		addIn:       make(map[uint32][]wpair),
-		delIn:       make(map[uint32]map[uint32]bool),
-		perInterval: make(map[int]int),
+		outOps: make(map[uint32][]edgeOp),
+		inOps:  make(map[uint32][]edgeOp),
 	}
 }
 
-// DefaultMergeThreshold is the pending-update count per interval above
-// which the interval's CSR files are rewritten.
+// DefaultMergeThreshold is the buffered side-entry count above which the
+// delta is folded into the CSR files.
 const DefaultMergeThreshold = 4096
 
-// PendingUpdates returns the total number of buffered structural updates.
-func (g *Graph) PendingUpdates() int {
-	if g.deltas == nil {
-		return 0
+// insert records one mutation at the given sequence number. A delete
+// whose matching add is still buffered and invisible to every pinned
+// snapshot (add seq > maxPinned) cancels the add physically instead of
+// accumulating both ops — deleting an edge added in the same delta epoch
+// must not grow the buffer.
+func (d *DeltaSet) insert(m Mutation, seq, maxPinned uint64) {
+	if m.Del && d.cancel(m.Src, m.Dst, maxPinned) {
+		return
 	}
-	total := 0
-	for _, c := range g.deltas.perInterval {
-		total += c
-	}
-	return total
+	d.outOps[m.Src] = append(d.outOps[m.Src], edgeOp{del: m.Del, id: m.Dst, w: m.Weight, seq: seq})
+	d.inOps[m.Dst] = append(d.inOps[m.Dst], edgeOp{del: m.Del, id: m.Src, w: m.Weight, seq: seq})
+	d.ops += 2
 }
 
-// Merges returns how many interval rewrites structural updates have
-// triggered so far.
-func (g *Graph) Merges() int {
-	if g.deltas == nil {
+// cancel removes the most recent buffered add of (src, dst) — and its
+// in-side twin — if no pinned snapshot can still observe it. It returns
+// false when the newest matching op is a delete (the add it shadowed is
+// already gone or pinned) or when the add is pinned, in which case the
+// caller records the delete as a regular op.
+func (d *DeltaSet) cancel(src, dst uint32, maxPinned uint64) bool {
+	outs := d.outOps[src]
+	for i := len(outs) - 1; i >= 0; i-- {
+		op := outs[i]
+		if op.id != dst {
+			continue
+		}
+		if op.del || op.seq <= maxPinned {
+			return false
+		}
+		d.outOps[src] = append(outs[:i], outs[i+1:]...)
+		if len(d.outOps[src]) == 0 {
+			delete(d.outOps, src)
+		}
+		ins := d.inOps[dst]
+		for j := len(ins) - 1; j >= 0; j-- {
+			if ins[j].seq == op.seq {
+				d.inOps[dst] = append(ins[:j], ins[j+1:]...)
+				break
+			}
+		}
+		if len(d.inOps[dst]) == 0 {
+			delete(d.inOps, dst)
+		}
+		d.ops -= 2
+		return true
+	}
+	return false
+}
+
+// clear drops every buffered op (after a full merge folded them).
+func (d *DeltaSet) clear() {
+	d.outOps = make(map[uint32][]edgeOp)
+	d.inOps = make(map[uint32][]edgeOp)
+	d.ops = 0
+}
+
+// apply overlays the ops visible at epoch on a freshly read neighbor
+// list (and its weights slice, which may be nil for unweighted graphs).
+// Ops replay in sequence order: an add appends an instance, a delete
+// removes the most recently added matching instance (falling back to the
+// base CSR instance), giving the edge list multiset semantics.
+func (d *DeltaSet) apply(side uint8, v uint32, nbrs, weights []uint32, epoch uint64) ([]uint32, []uint32) {
+	var ops []edgeOp
+	if side == 0 {
+		ops = d.outOps[v]
+	} else {
+		ops = d.inOps[v]
+	}
+	n := 0
+	for _, op := range ops {
+		if op.seq <= epoch {
+			n++
+		}
+	}
+	if n == 0 {
+		return nbrs, weights
+	}
+	out := make([]uint32, 0, len(nbrs)+n)
+	out = append(out, nbrs...)
+	var outW []uint32
+	if weights != nil {
+		outW = make([]uint32, 0, len(nbrs)+n)
+		outW = append(outW, weights...)
+	}
+	for _, op := range ops {
+		if op.seq > epoch {
+			continue
+		}
+		if !op.del {
+			out = append(out, op.id)
+			if outW != nil {
+				outW = append(outW, op.w)
+			}
+			continue
+		}
+		for i := len(out) - 1; i >= 0; i-- {
+			if out[i] == op.id {
+				out = append(out[:i], out[i+1:]...)
+				if outW != nil {
+					outW = append(outW[:i], outW[i+1:]...)
+				}
+				break
+			}
+		}
+	}
+	return out, outW
+}
+
+// PendingUpdates returns the number of buffered structural update
+// entries (each mutation contributes one per CSR side).
+func (g *Graph) PendingUpdates() int {
+	if g.ing == nil {
 		return 0
 	}
-	return g.deltas.merges
+	g.ing.mu.RLock()
+	defer g.ing.mu.RUnlock()
+	return g.ing.deltas.ops
+}
+
+// Merges returns how many delta merges structural updates have triggered
+// so far.
+func (g *Graph) Merges() int {
+	if g.ing == nil {
+		return 0
+	}
+	g.ing.mu.RLock()
+	defer g.ing.mu.RUnlock()
+	return g.ing.deltas.merges
 }
 
 // AddEdge buffers the addition of directed edge (src, dst). The edge is
-// visible to subsequent adjacency reads immediately; the CSR files are
-// rewritten lazily once the affected interval crosses mergeThreshold
-// pending updates (pass 0 for the default).
+// visible to subsequent adjacency reads immediately (durably so when the
+// graph was opened with OpenIngest); the CSR files are rewritten lazily
+// once the buffered volume crosses mergeThreshold (0 for the default).
 func (g *Graph) AddEdge(src, dst uint32, mergeThreshold int) error {
 	return g.AddEdgeWeighted(src, dst, 1, mergeThreshold)
 }
@@ -75,247 +190,23 @@ func (g *Graph) AddEdge(src, dst uint32, mergeThreshold int) error {
 // AddEdgeWeighted is AddEdge with an explicit weight (meaningful on
 // weighted graphs; ignored otherwise).
 func (g *Graph) AddEdgeWeighted(src, dst, weight uint32, mergeThreshold int) error {
-	if src >= g.meta.NumVertices || dst >= g.meta.NumVertices {
-		return fmt.Errorf("csr: AddEdge(%d,%d) out of range n=%d", src, dst, g.meta.NumVertices)
-	}
-	if g.deltas == nil {
-		g.deltas = newDeltaSet()
-	}
-	d := g.deltas
-	if del, ok := d.delOut[src]; ok && del[dst] {
-		delete(del, dst)
-	} else {
-		d.addOut[src] = append(d.addOut[src], wpair{id: dst, w: weight})
-	}
-	if del, ok := d.delIn[dst]; ok && del[src] {
-		delete(del, src)
-	} else {
-		d.addIn[dst] = append(d.addIn[dst], wpair{id: src, w: weight})
-	}
-	return g.noteUpdate(src, dst, mergeThreshold)
+	return g.ApplyMutations([]Mutation{{Src: src, Dst: dst, Weight: weight}}, mergeThreshold)
 }
 
-// RemoveEdge buffers the removal of directed edge (src, dst).
+// DelEdge buffers the removal of directed edge (src, dst). Deleting an
+// edge whose add is still buffered in the same delta epoch cancels the
+// buffered add rather than recording both.
+func (g *Graph) DelEdge(src, dst uint32, mergeThreshold int) error {
+	return g.ApplyMutations([]Mutation{{Del: true, Src: src, Dst: dst}}, mergeThreshold)
+}
+
+// RemoveEdge is DelEdge under its historical name.
 func (g *Graph) RemoveEdge(src, dst uint32, mergeThreshold int) error {
-	if src >= g.meta.NumVertices || dst >= g.meta.NumVertices {
-		return fmt.Errorf("csr: RemoveEdge(%d,%d) out of range n=%d", src, dst, g.meta.NumVertices)
-	}
-	if g.deltas == nil {
-		g.deltas = newDeltaSet()
-	}
-	d := g.deltas
-	if removed := removeFromSlice(d.addOut, src, dst); !removed {
-		if d.delOut[src] == nil {
-			d.delOut[src] = make(map[uint32]bool)
-		}
-		d.delOut[src][dst] = true
-	}
-	if removed := removeFromSlice(d.addIn, dst, src); !removed {
-		if d.delIn[dst] == nil {
-			d.delIn[dst] = make(map[uint32]bool)
-		}
-		d.delIn[dst][src] = true
-	}
-	return g.noteUpdate(src, dst, mergeThreshold)
-}
-
-func removeFromSlice(m map[uint32][]wpair, key, val uint32) bool {
-	s, ok := m[key]
-	if !ok {
-		return false
-	}
-	for i, x := range s {
-		if x.id == val {
-			m[key] = append(s[:i], s[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
-func (g *Graph) noteUpdate(src, dst uint32, mergeThreshold int) error {
-	if mergeThreshold <= 0 {
-		mergeThreshold = DefaultMergeThreshold
-	}
-	d := g.deltas
-	for _, iv := range []int{g.IntervalOf(src), g.IntervalOf(dst)} {
-		d.perInterval[iv]++
-		if d.perInterval[iv] >= mergeThreshold {
-			if err := g.MergeInterval(iv); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// apply overlays pending deltas on a freshly read neighbor list (and its
-// weights slice, which may be nil for unweighted graphs).
-func (d *DeltaSet) apply(side uint8, v uint32, nbrs, weights []uint32) ([]uint32, []uint32) {
-	var adds []wpair
-	var dels map[uint32]bool
-	if side == 0 {
-		adds, dels = d.addOut[v], d.delOut[v]
-	} else {
-		adds, dels = d.addIn[v], d.delIn[v]
-	}
-	if len(adds) == 0 && len(dels) == 0 {
-		return nbrs, weights
-	}
-	out := make([]uint32, 0, len(nbrs)+len(adds))
-	var outW []uint32
-	if weights != nil {
-		outW = make([]uint32, 0, len(nbrs)+len(adds))
-	}
-	for i, nb := range nbrs {
-		if !dels[nb] {
-			out = append(out, nb)
-			if outW != nil {
-				outW = append(outW, weights[i])
-			}
-		}
-	}
-	for _, a := range adds {
-		out = append(out, a.id)
-		if outW != nil {
-			outW = append(outW, a.w)
-		}
-	}
-	return out, outW
-}
-
-// MergeInterval rewrites interval iv's out- and in-CSR files with all
-// pending deltas applied, then discards those deltas.
-func (g *Graph) MergeInterval(iv int) error {
-	if g.deltas == nil {
-		return nil
-	}
-	interval := g.meta.Intervals[iv]
-
-	if err := g.mergeSide(0, iv, interval); err != nil {
-		return err
-	}
-	if err := g.mergeSide(1, iv, interval); err != nil {
-		return err
-	}
-
-	d := g.deltas
-	for v := interval.Lo; v < interval.Hi; v++ {
-		delete(d.addOut, v)
-		delete(d.delOut, v)
-		delete(d.addIn, v)
-		delete(d.delIn, v)
-	}
-	d.perInterval[iv] = 0
-	d.merges++
-	return g.updateMetaSizes()
-}
-
-func (g *Graph) mergeSide(side uint8, iv int, interval Interval) error {
-	rowF, colF := g.outRow[iv], g.outCol[iv]
-	var valF *ssd.File
-	load := g.LoadOutEdgesFull
-	if side == 1 {
-		rowF, colF = g.inRow[iv], g.inCol[iv]
-		load = g.LoadInEdgesFull
-	}
-	if g.meta.HasWeights {
-		if side == 0 {
-			valF = g.outVal[iv]
-		} else {
-			valF = g.inVal[iv]
-		}
-	}
-
-	// Materialize the merged adjacency (delta overlay happens inside the
-	// loader), then rewrite the files.
-	verts := make([]uint32, 0, interval.Len())
-	for v := interval.Lo; v < interval.Hi; v++ {
-		verts = append(verts, v)
-	}
-	merged := make([][]wpair, interval.Len())
-	if _, err := load(iv, verts, func(v uint32, nbrs, weights []uint32, _, _ int32) {
-		pairs := make([]wpair, len(nbrs))
-		for i, nb := range nbrs {
-			pairs[i] = wpair{id: nb}
-			if weights != nil {
-				pairs[i].w = weights[i]
-			}
-		}
-		sortPairs(pairs)
-		merged[v-interval.Lo] = pairs
-	}); err != nil {
-		return err
-	}
-
-	if err := rowF.Truncate(); err != nil {
-		return err
-	}
-	if err := colF.Truncate(); err != nil {
-		return err
-	}
-	rw := ssd.NewWriter(rowF)
-	cw := ssd.NewWriter(colF)
-	var vw *ssd.Writer
-	if valF != nil {
-		if err := valF.Truncate(); err != nil {
-			return err
-		}
-		vw = ssd.NewWriter(valF)
-	}
-	var off uint64
-	for _, pairs := range merged {
-		if err := rw.WriteU64(off); err != nil {
-			return err
-		}
-		for _, p := range pairs {
-			if err := cw.WriteU32(p.id); err != nil {
-				return err
-			}
-			if vw != nil {
-				if err := vw.WriteU32(p.w); err != nil {
-					return err
-				}
-			}
-		}
-		off += uint64(len(pairs))
-	}
-	if err := rw.WriteU64(off); err != nil {
-		return err
-	}
-	if err := rw.Close(); err != nil {
-		return err
-	}
-	if vw != nil {
-		if err := vw.Close(); err != nil {
-			return err
-		}
-	}
-	return cw.Close()
+	return g.DelEdge(src, dst, mergeThreshold)
 }
 
 func sortPairs(pairs []wpair) {
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
-}
-
-func (g *Graph) updateMetaSizes() error {
-	for i := range g.meta.Intervals {
-		g.meta.OutRowPtrSize[i] = g.outRow[i].Size()
-		g.meta.OutColIdxSize[i] = g.outCol[i].Size()
-		g.meta.InRowPtrSize[i] = g.inRow[i].Size()
-		g.meta.InColIdxSize[i] = g.inCol[i].Size()
-		if g.meta.HasWeights {
-			g.meta.OutValSize[i] = g.outVal[i].Size()
-			g.meta.InValSize[i] = g.inVal[i].Size()
-		}
-	}
-	// Recount edges.
-	var edges uint64
-	for i := range g.meta.Intervals {
-		edges += uint64(g.meta.OutColIdxSize[i] / 4)
-	}
-	g.meta.NumEdges = edges
-	return writeMeta(g.dev, g.meta.Name, g.meta)
 }
 
 // CurrentEdges returns the full current edge list (CSR plus pending

@@ -20,11 +20,21 @@ type Graph struct {
 	inRow, inCol   []*ssd.File
 	outVal, inVal  []*ssd.File // nil entries when the graph is unweighted
 
-	deltas *DeltaSet // structural updates; nil until first mutation
+	// ing holds the shared mutable ingest plane (delta overlay, epochs,
+	// WAL). Graph values are copied by View and Snapshot, so it sits
+	// behind a pointer; atEpoch/pinned make a copy a frozen view.
+	ing     *ingestState
+	atEpoch uint64 // epoch a pinned view reads at
+	pinned  bool
 }
 
-// Open opens a graph previously written with Build.
+// Open opens a graph previously written with Build, first completing any
+// merge a crash interrupted (see recoverIngest) so every open observes
+// crash-consistent CSR files.
 func Open(dev *ssd.Device, name string) (*Graph, error) {
+	if err := recoverIngest(dev, name); err != nil {
+		return nil, fmt.Errorf("csr: recover interrupted merge of %q: %w", name, err)
+	}
 	meta, err := readMeta(dev, name)
 	if err != nil {
 		return nil, err
@@ -33,6 +43,7 @@ func Open(dev *ssd.Device, name string) (*Graph, error) {
 		dev:  dev,
 		meta: meta,
 		idx:  NewIntervalIndex(meta.Intervals, meta.NumVertices),
+		ing:  newIngestState(),
 	}
 	for i := range meta.Intervals {
 		rf, err := dev.OpenFile(outRowPtrName(name, i))
@@ -86,11 +97,24 @@ func (g *Graph) Name() string { return g.meta.Name }
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() uint32 { return g.meta.NumVertices }
 
-// NumEdges returns the directed edge count at build time.
-func (g *Graph) NumEdges() uint64 { return g.meta.NumEdges }
+// NumEdges returns the current directed edge count of the CSR files
+// (delta merges update it; buffered deltas are not counted).
+func (g *Graph) NumEdges() uint64 {
+	if g.ing != nil {
+		g.ing.mu.RLock()
+		defer g.ing.mu.RUnlock()
+	}
+	return g.meta.NumEdges
+}
 
 // MaxOutDegree returns the largest out-degree at build time.
-func (g *Graph) MaxOutDegree() uint32 { return g.meta.MaxOutDegree }
+func (g *Graph) MaxOutDegree() uint32 {
+	if g.ing != nil {
+		g.ing.mu.RLock()
+		defer g.ing.mu.RUnlock()
+	}
+	return g.meta.MaxOutDegree
+}
 
 // Intervals returns the vertex intervals. Callers must not mutate.
 func (g *Graph) Intervals() []Interval { return g.meta.Intervals }
@@ -190,6 +214,23 @@ func (g *Graph) loadEdges(side uint8, rowF, colF, valF *ssd.File, iv int, verts 
 	var stats LoadStats
 	if len(verts) == 0 {
 		return stats, nil
+	}
+	// Shared-lock the ingest plane for the whole load: a crash-atomic
+	// merge (exclusive) must never rewrite the CSR files under a
+	// half-assembled neighbor list. Raw merge-internal views (ing == nil)
+	// skip both the lock and the overlay.
+	var epoch uint64
+	if ing := g.ing; ing != nil {
+		ing.mu.RLock()
+		defer ing.mu.RUnlock()
+		if err := ing.failed; err != nil {
+			return stats, err
+		}
+		if g.pinned {
+			epoch = g.atEpoch
+		} else {
+			epoch = ing.epoch.Load()
+		}
 	}
 	interval := g.meta.Intervals[iv]
 	for _, v := range verts {
@@ -295,8 +336,8 @@ func (g *Graph) loadEdges(side uint8, rowF, colF, valF *ssd.File, iv int, verts 
 				}
 			}
 		}
-		if g.deltas != nil {
-			nbrs, weights = g.deltas.apply(side, v, nbrs, weights)
+		if g.ing != nil {
+			nbrs, weights = g.ing.deltas.apply(side, v, nbrs, weights, epoch)
 		}
 		firstPage := int32(int64(start) * 4 / int64(ps))
 		lastPage := int32((int64(end)*4 - 1) / int64(ps))

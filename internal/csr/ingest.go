@@ -1,0 +1,788 @@
+package csr
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multilogvc/internal/obsv"
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/wal"
+)
+
+// The durable ingest plane. Three commitments, layered:
+//
+//  1. Durability (wal): with OpenIngest({WAL: true}), ApplyMutations
+//     returns only after its mutations are framed in the write-ahead log,
+//     so an acknowledged mutation survives kill -9. Crash recovery
+//     replays the log into the delta overlay on the next OpenIngest.
+//
+//  2. Crash-atomic merges (shadow + manifest): folding the delta into
+//     the CSR files rewrites every interval file plus the metadata — far
+//     from atomic on its own. The merge instead writes the complete new
+//     contents to a shadow file, then commits a checksummed manifest
+//     (the redo record: segment sizes, new metadata, the folded WAL
+//     sequence), then copies shadow segments over the primaries. A crash
+//     anywhere replays cleanly: no manifest -> old state plus WAL replay;
+//     valid manifest -> recovery re-runs the idempotent redo. The merge
+//     doubles as the WAL's checkpoint — frames at or below the folded
+//     sequence are truncated once the redo lands.
+//
+//  3. Snapshot isolation (epochs): every mutation carries a sequence
+//     number; readers see exactly the ops at or below their epoch.
+//     Graph.Snapshot pins the current epoch so a long query reads a
+//     frozen graph while ingest acknowledges new mutations around it.
+//     Merges defer while any snapshot is pinned (folding would collapse
+//     the epochs a pinned reader still distinguishes).
+
+// ErrIngestBackpressure is returned by ApplyMutations when accepting the
+// batch would push the buffered delta past IngestOptions.MaxPending. The
+// serving layer maps it to a structured 503 with Retry-After; callers
+// should back off and let a merge (or snapshot release) drain the buffer.
+var ErrIngestBackpressure = errors.New("csr: ingest backpressure: pending structural updates at cap")
+
+// Mutation is one structural edge mutation for ApplyMutations.
+type Mutation struct {
+	Del    bool
+	Src    uint32
+	Dst    uint32
+	Weight uint32 // adds on weighted graphs; ignored otherwise
+}
+
+// IngestOptions configures the ingest plane of a graph opened with
+// OpenIngest (a graph from Open/Build gets a volatile ingest plane with
+// zero-value options).
+type IngestOptions struct {
+	// WAL makes mutations durable: acknowledged means framed in the
+	// write-ahead log, replayed on the next OpenIngest after a crash.
+	WAL bool
+	// FlushEvery is the WAL group-commit window (<= 0: synchronous
+	// flush per mutation batch).
+	FlushEvery time.Duration
+	// MaxPending caps buffered delta side-entries (two per live
+	// mutation); past it ApplyMutations fails with
+	// ErrIngestBackpressure. 0 = unbounded (legacy behavior).
+	MaxPending int
+	// MergeThreshold is the default merge trigger for mutations arriving
+	// with no explicit threshold. 0 = DefaultMergeThreshold.
+	MergeThreshold int
+}
+
+// ingestState is the shared mutable half of a Graph. Graph values are
+// copied freely (View, Snapshot), so everything guarded by a lock lives
+// behind this pointer; the copies alias it.
+type ingestState struct {
+	// seqMu serializes mutation submission and merges: WAL appends from
+	// concurrent batches would interleave frames out of sequence order
+	// otherwise. Group commit still batches the device writes.
+	seqMu sync.Mutex
+	// mu guards deltas, pins, and epoch publication. Readers hold it
+	// shared across a whole adjacency load so a merge (exclusive) can
+	// never rewrite CSR pages under a half-assembled neighbor list.
+	mu     sync.RWMutex
+	deltas *DeltaSet
+	epoch  atomic.Uint64 // highest published (readable) sequence number
+
+	nextSeq uint64 // volatile-mode sequence source (the WAL assigns otherwise)
+
+	pins      map[uint64]int // pinned epoch -> snapshot count
+	maxPinned uint64         // highest pinned epoch (0 when none)
+
+	log  *wal.Log // nil in volatile mode
+	opts IngestOptions
+
+	// failed is sticky: set when a merge redo or WAL checkpoint fails
+	// past the commit point, leaving in-memory state ahead of what a
+	// half-applied redo guarantees on the device. Reads and mutations
+	// fail classified until the graph is reopened (which re-runs the
+	// idempotent redo).
+	failed error
+}
+
+func newIngestState() *ingestState {
+	return &ingestState{deltas: newDeltaSet(), pins: make(map[uint64]int)}
+}
+
+func ingestWALName(name string) string      { return name + ".wal" }
+func ingestManifestName(name string) string { return name + ".ingest.manifest" }
+func ingestShadowName(name string) string   { return name + ".ingest.shadow" }
+
+var ingestCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ApplyMutations applies a batch of structural mutations: validated,
+// framed in the WAL as one group commit (durable mode), inserted into
+// the delta overlay, and published under a single new epoch. On return
+// without error the whole batch is acknowledged — durable and visible to
+// subsequent reads. On error none of it is acknowledged (frames may
+// still be on the device; replay may surface them after a crash, which
+// only ever adds unacknowledged suffix, never loses acknowledged state).
+//
+// mergeThreshold bounds the buffered delta: crossing it triggers the
+// crash-atomic merge (0 uses IngestOptions.MergeThreshold, then
+// DefaultMergeThreshold).
+func (g *Graph) ApplyMutations(ms []Mutation, mergeThreshold int) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	n := g.meta.NumVertices
+	for _, m := range ms {
+		if m.Src >= n || m.Dst >= n {
+			return fmt.Errorf("csr: mutation (%d,%d) out of range n=%d", m.Src, m.Dst, n)
+		}
+	}
+	ing := g.ing
+	if ing == nil {
+		return fmt.Errorf("csr: graph view is not mutable")
+	}
+	ing.seqMu.Lock()
+	defer ing.seqMu.Unlock()
+	if ing.failed != nil {
+		return ing.failed
+	}
+	if cap := ing.opts.MaxPending; cap > 0 && ing.deltas.ops+2*len(ms) > cap {
+		return fmt.Errorf("%w (pending %d + batch %d > cap %d)",
+			ErrIngestBackpressure, ing.deltas.ops, 2*len(ms), cap)
+	}
+
+	var first uint64
+	if ing.log != nil {
+		recs := make([]wal.Record, len(ms))
+		for i, m := range ms {
+			op := wal.OpAdd
+			if m.Del {
+				op = wal.OpDel
+			}
+			recs[i] = wal.Record{Op: op, Src: m.Src, Dst: m.Dst, W: m.Weight}
+		}
+		f, _, err := ing.log.Append(recs) // blocks until durable
+		if err != nil {
+			return err
+		}
+		first = f
+	} else {
+		first = ing.nextSeq + 1
+		ing.nextSeq += uint64(len(ms))
+	}
+
+	ing.mu.Lock()
+	for i, m := range ms {
+		ing.deltas.insert(m, first+uint64(i), ing.maxPinned)
+	}
+	ing.epoch.Store(first + uint64(len(ms)) - 1)
+	pending := ing.deltas.ops
+	ing.mu.Unlock()
+
+	if mergeThreshold <= 0 {
+		mergeThreshold = ing.opts.MergeThreshold
+	}
+	if mergeThreshold <= 0 {
+		mergeThreshold = DefaultMergeThreshold
+	}
+	if pending >= mergeThreshold {
+		return g.mergeAllLocked()
+	}
+	return nil
+}
+
+// MergeInterval folds the buffered delta into the CSR files. The
+// historical signature took one interval; the crash-atomic merge always
+// folds the whole delta (the manifest commits all intervals at once), so
+// iv is accepted and ignored.
+func (g *Graph) MergeInterval(iv int) error {
+	_ = iv
+	ing := g.ing
+	if ing == nil {
+		return nil
+	}
+	ing.seqMu.Lock()
+	defer ing.seqMu.Unlock()
+	return g.mergeAllLocked()
+}
+
+// Epoch returns the epoch this graph value reads at: its pinned epoch
+// for snapshot views, the latest published epoch otherwise.
+func (g *Graph) Epoch() uint64 {
+	if g.ing == nil {
+		return 0
+	}
+	if g.pinned {
+		return g.atEpoch
+	}
+	return g.ing.epoch.Load()
+}
+
+// Snapshot pins the current epoch and returns a frozen view: reads
+// through Snapshot.Graph() see exactly the mutations published when the
+// snapshot was taken, while ingest keeps acknowledging new ones. Release
+// it — merges defer while any snapshot is pinned.
+type Snapshot struct {
+	base     *Graph
+	view     *Graph
+	epoch    uint64
+	released atomic.Bool
+}
+
+// Snapshot pins the current epoch. See type Snapshot.
+func (g *Graph) Snapshot() *Snapshot {
+	ing := g.ing
+	if ing == nil {
+		return &Snapshot{base: g, view: g}
+	}
+	ing.mu.Lock()
+	e := ing.epoch.Load()
+	ing.pins[e]++
+	if e > ing.maxPinned {
+		ing.maxPinned = e
+	}
+	ing.mu.Unlock()
+	v := *g
+	v.atEpoch = e
+	v.pinned = true
+	return &Snapshot{base: g, view: &v, epoch: e}
+}
+
+// Graph returns the frozen view. It supports every read path (loads,
+// engine runs via View, CurrentEdges) at the pinned epoch.
+func (s *Snapshot) Graph() *Graph { return s.view }
+
+// Epoch returns the pinned epoch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Release unpins the snapshot (idempotent). The view must not be read
+// after Release: a subsequent merge may fold the epochs it depended on.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	ing := s.base.ing
+	if ing == nil {
+		return
+	}
+	ing.mu.Lock()
+	if n := ing.pins[s.epoch]; n <= 1 {
+		delete(ing.pins, s.epoch)
+	} else {
+		ing.pins[s.epoch] = n - 1
+	}
+	ing.maxPinned = 0
+	for e := range ing.pins {
+		if e > ing.maxPinned {
+			ing.maxPinned = e
+		}
+	}
+	ing.mu.Unlock()
+}
+
+// IngestStats is a point-in-time snapshot of the ingest plane.
+type IngestStats struct {
+	Pending int    // buffered delta side-entries
+	Epoch   uint64 // latest published epoch
+	Merges  int    // delta merges completed
+	Pins    int    // snapshots currently pinned
+	Durable bool   // WAL-backed
+	WAL     wal.Stats
+}
+
+// IngestStats reports the ingest plane's counters (zero-valued for a
+// graph without one).
+func (g *Graph) IngestStats() IngestStats {
+	ing := g.ing
+	if ing == nil {
+		return IngestStats{}
+	}
+	ing.mu.RLock()
+	st := IngestStats{
+		Pending: ing.deltas.ops,
+		Epoch:   ing.epoch.Load(),
+		Merges:  ing.deltas.merges,
+		Durable: ing.log != nil,
+	}
+	for _, c := range ing.pins {
+		st.Pins += c
+	}
+	ing.mu.RUnlock()
+	if ing.log != nil {
+		st.WAL = ing.log.Stats()
+	}
+	return st
+}
+
+// CloseIngest flushes and closes the WAL (no-op for volatile graphs).
+// Call on daemon drain so the last group-commit window lands.
+func (g *Graph) CloseIngest() error {
+	if g.ing == nil || g.ing.log == nil {
+		return nil
+	}
+	return g.ing.log.Close()
+}
+
+// OpenIngest opens a graph for streaming ingest: it completes any
+// interrupted merge (via Open's recovery), then — in durable mode —
+// opens the WAL and replays surviving frames into the delta overlay, so
+// every mutation acknowledged before a crash is visible again.
+func OpenIngest(dev *ssd.Device, name string, opts IngestOptions) (*Graph, error) {
+	prevS, prevIv := dev.SetStage(obsv.StageIngest, -1)
+	g, err := Open(dev, name)
+	dev.SetStage(prevS, prevIv)
+	if err != nil {
+		return nil, err
+	}
+	g.ing.opts = opts
+	if !opts.WAL {
+		return g, nil
+	}
+	log, recs, err := wal.Open(dev, ingestWALName(name), wal.Options{FlushEvery: opts.FlushEvery})
+	if err != nil {
+		return nil, err
+	}
+	g.ing.log = log
+	if len(recs) > 0 {
+		// Open's recovery already truncated frames a committed merge
+		// folded, so everything surviving here is unmerged: replay it.
+		g.ing.mu.Lock()
+		for _, r := range recs {
+			if r.Src >= g.meta.NumVertices || r.Dst >= g.meta.NumVertices {
+				continue // a frame from a graph this isn't; skip defensively
+			}
+			g.ing.deltas.insert(Mutation{Del: r.Op == wal.OpDel, Src: r.Src, Dst: r.Dst, Weight: r.W}, r.Seq, 0)
+		}
+		g.ing.epoch.Store(recs[len(recs)-1].Seq)
+		g.ing.mu.Unlock()
+	}
+	return g, nil
+}
+
+// ---- crash-atomic merge -------------------------------------------------
+
+// mergePlan is the fully merged adjacency, one sorted pair list per
+// vertex per side: rows[side][interval][vertex-interval.Lo].
+type mergePlan struct {
+	rows [2][][][]wpair
+}
+
+// ingestManifest is the merge's redo record, committed (checksummed)
+// after the shadow file holds the complete new CSR contents. Its
+// presence and validity is THE commit point: everything after it —
+// copying segments over the primaries, rewriting the meta, truncating
+// the WAL — is idempotent redo that recovery re-runs from scratch.
+type ingestManifest struct {
+	FoldedSeq uint64  `json:"folded_seq"` // WAL frames <= this are folded in
+	ShadowLen int64   `json:"shadow_len"`
+	ShadowCRC uint32  `json:"shadow_crc"`
+	Segments  []int64 `json:"segments"` // per-file byte lengths, traversal order
+	Meta      *Meta   `json:"meta"`     // complete post-merge metadata
+}
+
+const ingestManifestMagic = "MLIM"
+
+// mergeAllLocked folds the whole buffered delta into the CSR files under
+// the shadow/manifest protocol. Caller holds ing.seqMu. Skipped (not an
+// error) while the delta is empty or a snapshot is pinned.
+func (g *Graph) mergeAllLocked() error {
+	ing := g.ing
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.failed != nil {
+		return ing.failed
+	}
+	if ing.deltas.ops == 0 {
+		return nil
+	}
+	if len(ing.pins) > 0 {
+		// A pinned snapshot still distinguishes epochs the fold would
+		// collapse; defer to the next trigger after release. MaxPending
+		// keeps deferral honest (backpressure instead of unbounded maps).
+		return nil
+	}
+	prevS, prevIv := g.dev.SetStage(obsv.StageIngest, -1)
+	defer g.dev.SetStage(prevS, prevIv)
+
+	foldedSeq := ing.epoch.Load()
+	plan, err := g.buildMergePlan(foldedSeq)
+	if err != nil {
+		return err // nothing written yet; state intact
+	}
+	if err := g.writeShadowAndManifest(plan, foldedSeq); err != nil {
+		return err // manifest not committed; old state + WAL replay intact
+	}
+	// Commit point passed: from here every failure is sticky — in-memory
+	// state can no longer be trusted to match a half-applied redo, and a
+	// reopen re-runs the redo from the manifest.
+	man, err := redoIngestManifest(g.dev, g.meta.Name)
+	if err == nil && man == nil {
+		err = fmt.Errorf("csr: merge manifest vanished before redo")
+	}
+	if err != nil {
+		ing.failed = fmt.Errorf("csr: merge redo failed (reopen to recover): %w", err)
+		return ing.failed
+	}
+	// Update only the fields a merge can change, under the exclusive
+	// lock this function holds. Immutable fields (Name, NumVertices,
+	// Intervals, HasWeights) stay byte-identical, so lock-free readers
+	// of those never observe a write. Shared by every view via g.meta.
+	g.meta.NumEdges = man.Meta.NumEdges
+	g.meta.OutRowPtrSize = man.Meta.OutRowPtrSize
+	g.meta.OutColIdxSize = man.Meta.OutColIdxSize
+	g.meta.InRowPtrSize = man.Meta.InRowPtrSize
+	g.meta.InColIdxSize = man.Meta.InColIdxSize
+	g.meta.OutValSize = man.Meta.OutValSize
+	g.meta.InValSize = man.Meta.InValSize
+	if ing.log != nil {
+		if err := ing.log.TruncateThrough(foldedSeq); err != nil {
+			ing.failed = fmt.Errorf("csr: WAL checkpoint failed (reopen to recover): %w", err)
+			return ing.failed
+		}
+	}
+	if err := truncateDeviceFile(g.dev, ingestManifestName(g.meta.Name)); err != nil {
+		ing.failed = fmt.Errorf("csr: merge manifest retire failed (reopen to recover): %w", err)
+		return ing.failed
+	}
+	// A shadow without a manifest is inert; freeing it is best-effort.
+	_ = truncateDeviceFile(g.dev, ingestShadowName(g.meta.Name))
+
+	ing.deltas.clear()
+	ing.deltas.merges++
+	obsv.Live().IngestMerges.Add(1)
+	return nil
+}
+
+// buildMergePlan materializes the merged adjacency of every interval at
+// foldedSeq: base CSR read through a raw (lock- and overlay-free) view —
+// the caller holds ing.mu exclusively — with the delta applied
+// explicitly. Memory is O(edges); merges are threshold-bounded, and the
+// out-of-core read paths stay untouched while this runs.
+func (g *Graph) buildMergePlan(foldedSeq uint64) (*mergePlan, error) {
+	raw := *g
+	raw.ing = nil
+	deltas := g.ing.deltas
+	plan := &mergePlan{}
+	for side := uint8(0); side < 2; side++ {
+		plan.rows[side] = make([][][]wpair, len(g.meta.Intervals))
+		for iv, interval := range g.meta.Intervals {
+			verts := make([]uint32, 0, interval.Len())
+			for v := interval.Lo; v < interval.Hi; v++ {
+				verts = append(verts, v)
+			}
+			rows := make([][]wpair, interval.Len())
+			visit := func(v uint32, nbrs, weights []uint32, _, _ int32) {
+				nbrs, weights = deltas.apply(side, v, nbrs, weights, foldedSeq)
+				pairs := make([]wpair, len(nbrs))
+				for i, nb := range nbrs {
+					pairs[i] = wpair{id: nb}
+					if weights != nil {
+						pairs[i].w = weights[i]
+					}
+				}
+				sortPairs(pairs)
+				rows[v-interval.Lo] = pairs
+			}
+			var err error
+			if side == 0 {
+				_, err = raw.LoadOutEdgesFull(iv, verts, visit)
+			} else {
+				_, err = raw.LoadInEdgesFull(iv, verts, visit)
+			}
+			if err != nil {
+				return nil, err
+			}
+			plan.rows[side][iv] = rows
+		}
+	}
+	return plan, nil
+}
+
+// writeShadowAndManifest streams the plan into the shadow file (rowptr,
+// colidx, and — weighted — val segments per interval and side, CRC32C
+// accumulated over the whole stream) and then commits the manifest. The
+// previous manifest is invalidated first, so a crash while the shadow is
+// half-written recovers to the pre-merge state.
+func (g *Graph) writeShadowAndManifest(plan *mergePlan, foldedSeq uint64) error {
+	name := g.meta.Name
+	if err := truncateDeviceFile(g.dev, ingestManifestName(name)); err != nil {
+		return err
+	}
+	sf, err := g.dev.OpenOrCreate(ingestShadowName(name))
+	if err != nil {
+		return err
+	}
+	if err := sf.Truncate(); err != nil {
+		return err
+	}
+	w := ssd.NewWriter(sf)
+	var crc uint32
+	write := func(b []byte) error {
+		crc = crc32.Update(crc, ingestCRC, b)
+		_, err := w.Write(b)
+		return err
+	}
+
+	newMeta := *g.meta
+	newMeta.OutRowPtrSize = make([]int64, len(g.meta.Intervals))
+	newMeta.OutColIdxSize = make([]int64, len(g.meta.Intervals))
+	newMeta.InRowPtrSize = make([]int64, len(g.meta.Intervals))
+	newMeta.InColIdxSize = make([]int64, len(g.meta.Intervals))
+	if g.meta.HasWeights {
+		newMeta.OutValSize = make([]int64, len(g.meta.Intervals))
+		newMeta.InValSize = make([]int64, len(g.meta.Intervals))
+	}
+
+	var segs []int64
+	for iv := range g.meta.Intervals {
+		for side := 0; side < 2; side++ {
+			rows := plan.rows[side][iv]
+			rb := make([]byte, 0, (len(rows)+1)*8)
+			var off uint64
+			for _, pairs := range rows {
+				rb = binary.LittleEndian.AppendUint64(rb, off)
+				off += uint64(len(pairs))
+			}
+			rb = binary.LittleEndian.AppendUint64(rb, off)
+			cb := make([]byte, 0, off*4)
+			var vb []byte
+			for _, pairs := range rows {
+				for _, p := range pairs {
+					cb = binary.LittleEndian.AppendUint32(cb, p.id)
+					if g.meta.HasWeights {
+						vb = binary.LittleEndian.AppendUint32(vb, p.w)
+					}
+				}
+			}
+			if err := write(rb); err != nil {
+				return err
+			}
+			segs = append(segs, int64(len(rb)))
+			if err := write(cb); err != nil {
+				return err
+			}
+			segs = append(segs, int64(len(cb)))
+			if side == 0 {
+				newMeta.OutRowPtrSize[iv] = int64(len(rb))
+				newMeta.OutColIdxSize[iv] = int64(len(cb))
+			} else {
+				newMeta.InRowPtrSize[iv] = int64(len(rb))
+				newMeta.InColIdxSize[iv] = int64(len(cb))
+			}
+			if g.meta.HasWeights {
+				if err := write(vb); err != nil {
+					return err
+				}
+				segs = append(segs, int64(len(vb)))
+				if side == 0 {
+					newMeta.OutValSize[iv] = int64(len(vb))
+				} else {
+					newMeta.InValSize[iv] = int64(len(vb))
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	var edges uint64
+	for _, sz := range newMeta.OutColIdxSize {
+		edges += uint64(sz / 4)
+	}
+	newMeta.NumEdges = edges
+
+	man := ingestManifest{
+		FoldedSeq: foldedSeq,
+		ShadowLen: w.Offset(),
+		ShadowCRC: crc,
+		Segments:  segs,
+		Meta:      &newMeta,
+	}
+	return writeIngestManifest(g.dev, name, &man)
+}
+
+// segmentFiles returns the primary file names of interval iv in the
+// shadow's traversal order.
+func segmentFiles(name string, iv int, weighted bool) []string {
+	fns := []string{outRowPtrName(name, iv), outColIdxName(name, iv)}
+	if weighted {
+		fns = append(fns, outValName(name, iv))
+	}
+	fns = append(fns, inRowPtrName(name, iv), inColIdxName(name, iv))
+	if weighted {
+		fns = append(fns, inValName(name, iv))
+	}
+	return fns
+}
+
+// redoIngestManifest performs the merge's redo if a valid manifest is
+// present: verify the shadow, copy its segments over the primary CSR
+// files, rewrite the meta. Idempotent — recovery and the in-process
+// merge both run it, so the recovery path is exercised on every merge,
+// not only after crashes. Returns (nil, nil) when there is no valid
+// manifest (no interrupted merge).
+func redoIngestManifest(dev *ssd.Device, name string) (*ingestManifest, error) {
+	man, ok, err := readIngestManifest(dev, ingestManifestName(name))
+	if err != nil || !ok {
+		return nil, err
+	}
+	sf, err := dev.OpenFile(ingestShadowName(name))
+	if err != nil {
+		return nil, fmt.Errorf("csr: merge manifest without shadow: %w", err)
+	}
+	buf := make([]byte, man.ShadowLen)
+	if err := sf.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("csr: merge shadow read: %w", err)
+	}
+	if crc32.Checksum(buf, ingestCRC) != man.ShadowCRC {
+		return nil, fmt.Errorf("csr: merge shadow of %q failed checksum: %w", name, ssd.ErrCorruptPage)
+	}
+	var off int64
+	si := 0
+	for iv := range man.Meta.Intervals {
+		for _, fn := range segmentFiles(name, iv, man.Meta.HasWeights) {
+			if si >= len(man.Segments) {
+				return nil, fmt.Errorf("csr: merge manifest of %q truncated segment list", name)
+			}
+			n := man.Segments[si]
+			si++
+			if off+n > man.ShadowLen {
+				return nil, fmt.Errorf("csr: merge manifest of %q overruns shadow", name)
+			}
+			if err := rewriteDeviceFile(dev, fn, buf[off:off+n]); err != nil {
+				return nil, err
+			}
+			off += n
+		}
+	}
+	if si != len(man.Segments) || off != man.ShadowLen {
+		return nil, fmt.Errorf("csr: merge manifest of %q segment mismatch", name)
+	}
+	if err := writeMeta(dev, name, man.Meta); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// recoverIngest completes an interrupted merge: redo from the manifest,
+// checkpoint the WAL through the folded sequence, then retire the
+// manifest. Every step is idempotent; a crash inside recovery recovers.
+// Called by Open so even non-ingest opens see crash-consistent state.
+func recoverIngest(dev *ssd.Device, name string) error {
+	man, err := redoIngestManifest(dev, name)
+	if err != nil {
+		return err
+	}
+	if man == nil {
+		return nil
+	}
+	if dev.Exists(ingestWALName(name)) {
+		l, _, err := wal.Open(dev, ingestWALName(name), wal.Options{})
+		if err != nil {
+			return err
+		}
+		if err := l.TruncateThrough(man.FoldedSeq); err != nil {
+			return err
+		}
+		if err := l.Close(); err != nil {
+			return err
+		}
+	}
+	if err := truncateDeviceFile(dev, ingestManifestName(name)); err != nil {
+		return err
+	}
+	_ = truncateDeviceFile(dev, ingestShadowName(name))
+	return nil
+}
+
+// writeIngestManifest frames the manifest — magic, payload length,
+// JSON payload, CRC32C over all prior bytes — and writes it as one
+// page batch. The frame is self-validating: a torn or stale manifest
+// fails the checksum and reads as "no manifest".
+func writeIngestManifest(dev *ssd.Device, name string, man *ingestManifest) error {
+	payload, err := json.Marshal(man)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 0, len(ingestManifestMagic)+8+len(payload))
+	frame = append(frame, ingestManifestMagic...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame, ingestCRC))
+	return rewriteDeviceFile(dev, ingestManifestName(name), frame)
+}
+
+// readIngestManifest returns (manifest, true) when the named file holds
+// a frame with a valid magic, length, and checksum; (nil, false) when
+// the file is missing, empty, torn, or stale. Device read errors (a
+// corrupt page under the frame) propagate.
+func readIngestManifest(dev *ssd.Device, fn string) (*ingestManifest, bool, error) {
+	if !dev.Exists(fn) {
+		return nil, false, nil
+	}
+	f, err := dev.OpenFile(fn)
+	if err != nil {
+		return nil, false, nil
+	}
+	np := f.NumPages()
+	if np == 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, np*dev.PageSize())
+	if err := f.ReadPageRange(0, np, buf); err != nil {
+		return nil, false, fmt.Errorf("csr: merge manifest read: %w", err)
+	}
+	hdr := len(ingestManifestMagic) + 4
+	if len(buf) < hdr+4 || string(buf[:len(ingestManifestMagic)]) != ingestManifestMagic {
+		return nil, false, nil
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[len(ingestManifestMagic):]))
+	if plen < 0 || hdr+plen+4 > len(buf) {
+		return nil, false, nil
+	}
+	want := binary.LittleEndian.Uint32(buf[hdr+plen:])
+	if crc32.Checksum(buf[:hdr+plen], ingestCRC) != want {
+		return nil, false, nil
+	}
+	var man ingestManifest
+	if err := json.Unmarshal(buf[hdr:hdr+plen], &man); err != nil {
+		return nil, false, nil
+	}
+	if man.Meta == nil {
+		return nil, false, nil
+	}
+	return &man, true, nil
+}
+
+// rewriteDeviceFile replaces fn's contents with data (page-padded) and
+// fixes its logical size.
+func rewriteDeviceFile(dev *ssd.Device, fn string, data []byte) error {
+	f, err := dev.OpenOrCreate(fn)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		ps := dev.PageSize()
+		padded := (len(data) + ps - 1) / ps * ps
+		buf := make([]byte, padded)
+		copy(buf, data)
+		if err := f.WritePageRange(0, buf); err != nil {
+			return err
+		}
+	}
+	f.SetSize(int64(len(data)))
+	return nil
+}
+
+// truncateDeviceFile empties fn if it exists (creating nothing).
+func truncateDeviceFile(dev *ssd.Device, fn string) error {
+	if !dev.Exists(fn) {
+		return nil
+	}
+	f, err := dev.OpenFile(fn)
+	if err != nil {
+		return nil
+	}
+	return f.Truncate()
+}

@@ -1,0 +1,33 @@
+package harness
+
+import "testing"
+
+// TestIngestChaosSoak drives the durable-ingest chaos leg: WAL-backed
+// mutation streams under random fault schedules and kill -9 style
+// reopens must recover to exactly the acknowledged oracle (plus at most
+// a prefix of one in-flight batch) or fail classified. CI runs this
+// under -race alongside the main chaos soak.
+func TestIngestChaosSoak(t *testing.T) {
+	cases := 24
+	if testing.Short() {
+		cases = 6
+	}
+	var faulted, crashes, batches int
+	for i := 0; i < cases; i++ {
+		seed := 0x16E57<<16 | int64(i)
+		out, err := IngestChaosCase(seed, t.TempDir())
+		if err != nil {
+			t.Fatalf("ingest chaos case %d: %v", i, err)
+		}
+		faulted += len(out.Faults)
+		crashes += out.Crashes
+		batches += out.Batches
+		t.Logf("seed %#x [%s] -> batches=%d acked=%d crashes=%d faults=%v",
+			seed, out.Schedule, out.Batches, out.Acked, out.Crashes, out.Faults)
+	}
+	t.Logf("ingest soak: %d batches, %d crashes, %d classified faults over %d cases",
+		batches, crashes, faulted, cases)
+	if crashes == 0 {
+		t.Error("ingest soak never exercised a crash-reopen — schedules are too cold")
+	}
+}

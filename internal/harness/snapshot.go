@@ -9,6 +9,7 @@ import (
 
 	"multilogvc/internal/apps"
 	"multilogvc/internal/metrics"
+	"multilogvc/internal/obsv"
 	"multilogvc/internal/vc"
 )
 
@@ -174,6 +175,36 @@ func TakeSnapshot(size Size) (*Snapshot, error) {
 		}
 		snap.Entries = append(snap.Entries, entryFromReport(rep, sp.cacheMB, sp.cacheMB == 0))
 	}
+	// The durable-ingest shape: the fixed mutation stream through the
+	// sync-flushed WAL plus one crash-atomic merge. Uncached and
+	// fixed-seed, so page counts and WAL bytes gate deterministically.
+	ir, err := runIngestBench(cf, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	ie := SnapEntry{
+		Engine:        "multilogvc",
+		App:           ingestApp,
+		Graph:         cf.Name,
+		Deterministic: true,
+		PagesRead:     ir.IO.PagesRead,
+		PagesWritten:  ir.IO.PagesWritten,
+		StorageNS:     int64(ir.IO.StorageTime()),
+		WallNS:        int64(ir.Wall),
+		Retries:       ir.IO.Retries,
+	}
+	for i, st := range ir.IO.Stages {
+		if st.PagesRead == 0 && st.PagesWritten == 0 {
+			continue
+		}
+		ie.Stages = append(ie.Stages, StageSnap{
+			Stage:        obsv.Stage(i).String(),
+			PagesRead:    st.PagesRead,
+			PagesWritten: st.PagesWritten,
+			TimeNS:       int64(st.Time),
+		})
+	}
+	snap.Entries = append(snap.Entries, ie)
 	sort.Slice(snap.Entries, func(i, j int) bool {
 		return snap.Entries[i].Key() < snap.Entries[j].Key()
 	})

@@ -70,6 +70,18 @@ type LiveVars struct {
 	BreakerOpens    *expvar.Int // fault circuit-breaker open transitions
 	BreakerSheds    *expvar.Int // queries shed while the breaker was open or probing
 
+	// Streaming-ingest counters: cumulative across the process. Zero
+	// unless the graph was opened for durable ingest.
+	IngestMutations    *expvar.Int // edge mutations acknowledged (durable + applied)
+	IngestBatches      *expvar.Int // mutation batches acknowledged
+	IngestBackpressure *expvar.Int // mutation batches shed at the pending-update cap
+	IngestErrors       *expvar.Int // mutation batches failed for any other reason
+	IngestMerges       *expvar.Int // crash-atomic delta merges (WAL checkpoints)
+	WALFlushes         *expvar.Int // WAL group-commit flushes
+	WALFrames          *expvar.Int // WAL frames made durable by those flushes
+	WALReplayed        *expvar.Int // WAL frames replayed into the delta overlay on open
+	WALTornTails       *expvar.Int // torn WAL tails truncated during replay
+
 	// Per-stage IO maps, keyed by the stable obsv.Stage names: cumulative
 	// device pages each pipeline stage read and wrote across runs in the
 	// process. The OpenMetrics handler exports them as labeled samples
@@ -129,6 +141,16 @@ func Live() *LiveVars {
 			PanicsRecovered: expvar.NewInt("mlvc.panics_recovered"),
 			BreakerOpens:    expvar.NewInt("mlvc.breaker_opens"),
 			BreakerSheds:    expvar.NewInt("mlvc.breaker_sheds"),
+
+			IngestMutations:    expvar.NewInt("mlvc.ingest_mutations"),
+			IngestBatches:      expvar.NewInt("mlvc.ingest_batches"),
+			IngestBackpressure: expvar.NewInt("mlvc.ingest_backpressure"),
+			IngestErrors:       expvar.NewInt("mlvc.ingest_errors"),
+			IngestMerges:       expvar.NewInt("mlvc.ingest_merges"),
+			WALFlushes:         expvar.NewInt("mlvc.wal_flushes"),
+			WALFrames:          expvar.NewInt("mlvc.wal_frames"),
+			WALReplayed:        expvar.NewInt("mlvc.wal_replayed_frames"),
+			WALTornTails:       expvar.NewInt("mlvc.wal_torn_tails"),
 
 			StagePagesRead:    expvar.NewMap("mlvc.stage_pages_read"),
 			StagePagesWritten: expvar.NewMap("mlvc.stage_pages_written"),

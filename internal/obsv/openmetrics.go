@@ -66,6 +66,15 @@ var varMeta = map[string]metricMeta{
 	"mlvc.query_pages_written":  {"Device pages written by query executions (per-query scoped)", "counter", ""},
 	"mlvc.stage_pages_read":     {"Cumulative device pages read, by pipeline stage", "counter", "stage"},
 	"mlvc.stage_pages_written":  {"Cumulative device pages written, by pipeline stage", "counter", "stage"},
+	"mlvc.ingest_mutations":     {"Edge mutations acknowledged (durable and applied)", "counter", ""},
+	"mlvc.ingest_batches":       {"Mutation batches acknowledged", "counter", ""},
+	"mlvc.ingest_backpressure":  {"Mutation batches shed at the pending-update cap", "counter", ""},
+	"mlvc.ingest_errors":        {"Mutation batches failed for any other reason", "counter", ""},
+	"mlvc.ingest_merges":        {"Crash-atomic delta merges (WAL checkpoints)", "counter", ""},
+	"mlvc.wal_flushes":          {"WAL group-commit flushes", "counter", ""},
+	"mlvc.wal_frames":           {"WAL frames made durable", "counter", ""},
+	"mlvc.wal_replayed_frames":  {"WAL frames replayed into the delta overlay on open", "counter", ""},
+	"mlvc.wal_torn_tails":       {"Torn WAL tails truncated during replay", "counter", ""},
 }
 
 var (

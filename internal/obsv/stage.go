@@ -37,6 +37,10 @@ const (
 	StageSpill
 	// StageBuild is graph construction (CSR build, generators).
 	StageBuild
+	// StageIngest is the streaming-ingest plane: WAL appends and replay,
+	// and the crash-atomic delta merges that fold buffered mutations back
+	// into the CSR files.
+	StageIngest
 
 	numStageSentinel
 )
@@ -47,7 +51,7 @@ const NumStages = int(numStageSentinel)
 
 var stageNames = [NumStages]string{
 	"other", "vertex", "sortgroup", "relog", "prefetch",
-	"checkpoint", "scrub", "spill", "build",
+	"checkpoint", "scrub", "spill", "build", "ingest",
 }
 
 // String returns the stage's stable lowercase name, used as the JSON

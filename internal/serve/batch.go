@@ -315,6 +315,11 @@ func (b *batcher) runSolo(q *pointQuery, batchErr error) pointResult {
 // scratch namespace, ephemeral cleanup on any exit, per-run IO scope,
 // shared cache with a private prefetcher.
 func (s *Server) runEngine(ctx context.Context, tag string, prog vc.Program) (*core.Result, ssd.Stats, error) {
+	// Pin the delta epoch for the whole execution: queries read a frozen
+	// graph while streaming ingest acknowledges mutations around them,
+	// and every lane of the batch sees the same structure.
+	snap := s.g.Snapshot()
+	defer snap.Release()
 	sc := ssd.NewScope()
 	cfg := core.Config{
 		MemoryBudget:  s.opts.MemoryBudget,
@@ -329,6 +334,6 @@ func (s *Server) runEngine(ctx context.Context, tag string, prog vc.Program) (*c
 		defer pf.Close()
 		cfg.Prefetcher = pf
 	}
-	res, err := core.New(s.g, cfg).RunCtx(ctx, prog)
+	res, err := core.New(snap.Graph(), cfg).RunCtx(ctx, prog)
 	return res, sc.Stats(), err
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"multilogvc/internal/core"
+	"multilogvc/internal/csr"
 	"multilogvc/internal/ssd"
 )
 
@@ -17,15 +18,16 @@ import (
 // can react per class (retry later vs give up vs page an operator)
 // without parsing prose.
 //
-//	deadline       504  query or batch deadline expired (retry with a longer one)
-//	overloaded     503  admission queue full (back off and retry)
-//	shutting_down  503  server draining (retry against a peer)
-//	breaker_open   503  fault circuit breaker shedding (honor Retry-After)
-//	no_space       507  device quota held even after reclamation
-//	device_fault   500  transient retries exhausted
-//	corrupt        500  data failed checksum beyond recovery
-//	bad_request    400  malformed query
-//	internal       500  anything else, panics included
+//	deadline             504  query or batch deadline expired (retry with a longer one)
+//	overloaded           503  admission queue full (back off and retry)
+//	shutting_down        503  server draining (retry against a peer)
+//	breaker_open         503  fault circuit breaker shedding (honor Retry-After)
+//	ingest_backpressure  503  mutation buffer at its pending cap (back off; a merge drains it)
+//	no_space             507  device quota held even after reclamation
+//	device_fault         500  transient retries exhausted
+//	corrupt              500  data failed checksum beyond recovery
+//	bad_request          400  malformed query
+//	internal             500  anything else, panics included
 //
 // Every 503 and 507 carries a Retry-After header: a well-behaved client
 // backs off exactly as long as the daemon asks, which is what lets the
@@ -44,6 +46,8 @@ func classify(err error) (string, int) {
 		return "deadline", http.StatusGatewayTimeout
 	case errors.Is(err, core.ErrInterrupted):
 		return "shutting_down", http.StatusServiceUnavailable
+	case errors.Is(err, csr.ErrIngestBackpressure):
+		return "ingest_backpressure", http.StatusServiceUnavailable
 	case errors.Is(err, ssd.ErrNoSpace):
 		return "no_space", http.StatusInsufficientStorage
 	case errors.Is(err, ssd.ErrRetriesExhausted):

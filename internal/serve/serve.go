@@ -85,6 +85,14 @@ type Options struct {
 	// successes required to close); defaults to 2.
 	BreakerProbes int
 
+	// EnableIngest registers POST /mutate, the streaming-ingest endpoint.
+	// The graph should be opened with csr.OpenIngest for durability;
+	// without it mutations apply volatile (lost on restart).
+	EnableIngest bool
+	// MergeThreshold is passed through to ApplyMutations for /mutate
+	// batches; 0 keeps the graph's configured default.
+	MergeThreshold int
+
 	// FaultControl registers POST /debug/fault, the cross-process
 	// fault-injection control surface. Testing only.
 	FaultControl bool
@@ -168,6 +176,9 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("/query/bfs", func(w http.ResponseWriter, r *http.Request) { s.handlePoint(w, r, s.bfs) })
 	mux.HandleFunc("/query/sssp", func(w http.ResponseWriter, r *http.Request) { s.handlePoint(w, r, s.sssp) })
 	mux.HandleFunc("/walk", s.handleWalk)
+	if opts.EnableIngest {
+		mux.HandleFunc("/mutate", s.handleMutate)
+	}
 	mux.HandleFunc("/graph", s.handleGraph)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -182,7 +193,11 @@ func New(opts Options) (*Server, error) {
 			writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
 			return
 		}
-		fmt.Fprintln(w, "mlvcd: POST /query/bfs /query/sssp /walk; GET /graph /stats /healthz /readyz /metrics /debug/vars")
+		usage := "mlvcd: POST /query/bfs /query/sssp /walk; GET /graph /stats /healthz /readyz /metrics /debug/vars"
+		if s.opts.EnableIngest {
+			usage = "mlvcd: POST /query/bfs /query/sssp /walk /mutate; GET /graph /stats /healthz /readyz /metrics /debug/vars"
+		}
+		fmt.Fprintln(w, usage)
 	})
 	s.mux = mux
 	return s, nil
@@ -422,6 +437,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"brownout":       s.brk.brownout(),
 		"queued":         s.queued.Load(),
 		"max_concurrent": s.opts.MaxConcurrent,
+	}
+	ist := s.g.IngestStats()
+	out["ingest"] = map[string]interface{}{
+		"pending_updates":    ist.Pending,
+		"epoch":              ist.Epoch,
+		"merges":             ist.Merges,
+		"pinned_snapshots":   ist.Pins,
+		"durable":            ist.Durable,
+		"batches_acked":      live.IngestBatches.Value(),
+		"mutations_acked":    live.IngestMutations.Value(),
+		"backpressure_sheds": live.IngestBackpressure.Value(),
+		"errors":             live.IngestErrors.Value(),
+		"wal_appends":        ist.WAL.Appends,
+		"wal_flushes":        ist.WAL.Flushes,
+		"wal_replayed":       ist.WAL.Replayed,
+		"wal_torn_tails":     ist.WAL.TornTails,
+		"wal_truncates":      ist.WAL.Truncates,
+		"wal_durable_bytes":  ist.WAL.DurableBytes,
+		"wal_last_seq":       ist.WAL.LastSeq,
 	}
 	if s.opts.Cache != nil {
 		out["cache_pinned_pages"] = s.opts.Cache.PinnedPages()

@@ -107,6 +107,11 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		Paths:  make([][]uint32, req.Walks),
 		Visits: make(map[string]uint32),
 	}
+	// Pin the delta epoch for the whole walk so every step — and the memo
+	// below — reads one consistent graph even while ingest mutates it.
+	snap := s.g.Snapshot()
+	defer snap.Release()
+	wg := snap.Graph()
 	// Per-request adjacency memo: concurrent walks of one request revisit
 	// hub vertices constantly, and each LoadOutEdges costs device pages.
 	memo := make(map[uint32][]uint32)
@@ -115,7 +120,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 			return nbrs, nil
 		}
 		var nbrs []uint32
-		_, err := s.g.LoadOutEdges(s.g.IntervalOf(v), []uint32{v}, func(_ uint32, out []uint32) {
+		_, err := wg.LoadOutEdges(wg.IntervalOf(v), []uint32{v}, func(_ uint32, out []uint32) {
 			nbrs = append([]uint32(nil), out...)
 		})
 		if err != nil {
