@@ -89,6 +89,7 @@ var experiments = []experiment{
 	{"serving", "multi-source query batching: pages/query at batch 1/4/16", func(b *benchCtx) (*metrics.Table, error) { return harness.Serving(b.size) }},
 	{"isolation", "batch fault isolation: clean batch vs solos vs isolation event", func(b *benchCtx) (*metrics.Table, error) { return harness.IsolationCost(b.size) }},
 	{"ingest", "streaming-ingest throughput and WAL durability overhead", func(b *benchCtx) (*metrics.Table, error) { return harness.Ingest(b.size) }},
+	{"replication", "follower catch-up rate and failover window", func(b *benchCtx) (*metrics.Table, error) { return harness.Replication(b.size) }},
 }
 
 func expNames() string {

@@ -46,6 +46,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "scrub":
 		err = cmdScrub(os.Args[2:])
+	case "wal":
+		err = cmdWAL(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -116,6 +118,7 @@ func usage() {
              [-trace out.json] [-json report.json] [-listen :6060]
   mlvc run   -dir DIR -name G -app NAME ...   (reuse a built graph)
   mlvc scrub -dir DIR [-page N] [-channels N]   (verify every page checksum)
+  mlvc wal dump -dir DIR [-name G] [-from SEQ] [-limit N]   (inspect the ingest WAL, read-only)
 
 exit codes: 1 generic error, 2 usage, 3 transient retries exhausted,
             4 permanent device fault, 5 corrupt checkpoint,

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/wal"
+)
+
+// cmdWAL dispatches `mlvc wal <subcommand>`; dump is the only one so far.
+func cmdWAL(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("wal requires a subcommand: dump")
+	}
+	switch args[0] {
+	case "dump":
+		return cmdWALDump(args[1:])
+	default:
+		return fmt.Errorf("unknown wal subcommand %q (want dump)", args[0])
+	}
+}
+
+// cmdWALDump prints a built graph's ingest WAL frame by frame — the
+// offline inspection tool for debugging replication lag, torn tails, and
+// replay disputes. Strictly read-only: it opens the raw log file and
+// decodes it, unlike wal.Open, which truncates a torn tail in place as a
+// side effect of replay. Safe to run against a live primary's directory
+// copy or a crashed node's device before deciding whether to re-seed.
+func cmdWALDump(args []string) error {
+	fs := flag.NewFlagSet("wal dump", flag.ExitOnError)
+	dir := fs.String("dir", "", "device directory built with `mlvc build` (required)")
+	name := fs.String("name", "g", "graph name inside the device")
+	pageSize := fs.Int("page", 16384, "SSD page size the device was built with")
+	channels := fs.Int("channels", 8, "SSD channels")
+	from := fs.Uint64("from", 0, "print frames with seq >= this (0 = all)")
+	limit := fs.Int("limit", 0, "max frames to print (0 = all)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("wal dump requires -dir")
+	}
+
+	dev, err := ssd.Open(ssd.Config{PageSize: *pageSize, Channels: *channels, Dir: *dir})
+	if err != nil {
+		return err
+	}
+	walName := *name + ".wal"
+	f, err := dev.OpenFile(walName)
+	if err != nil {
+		return fmt.Errorf("no WAL for graph %q in %s (was it built with ingest enabled?): %w", *name, *dir, err)
+	}
+	np := f.NumPages()
+	buf := make([]byte, np**pageSize)
+	if np > 0 {
+		if err := f.ReadPageRange(0, np, buf); err != nil {
+			return fmt.Errorf("read %s: %w", walName, err)
+		}
+	}
+
+	recs, consumed, torn := wal.DecodeFrames(buf)
+	fmt.Printf("%s: %d pages, %d bytes raw, %d frames in accepted prefix (%d bytes)\n",
+		walName, np, len(buf), len(recs), consumed)
+	if len(recs) > 0 {
+		fmt.Printf("seq range: %d..%d\n", recs[0].Seq, recs[len(recs)-1].Seq)
+	}
+
+	printed := 0
+	for _, r := range recs {
+		if r.Seq < *from {
+			continue
+		}
+		if *limit > 0 && printed >= *limit {
+			fmt.Printf("... (limit %d reached)\n", *limit)
+			break
+		}
+		op := "add"
+		if r.Op == wal.OpDel {
+			op = "del"
+		}
+		fmt.Printf("seq %8d  %s %d -> %d  w=%d  crc=ok\n", r.Seq, op, r.Src, r.Dst, r.W)
+		printed++
+	}
+
+	if torn {
+		fmt.Printf("TORN TAIL at byte offset %d: %d trailing bytes fail frame validation (CRC, magic, or seq continuity)\n",
+			consumed, len(buf)-consumed)
+		fmt.Println("these bytes are a partial group commit that never acked; wal replay (mlvcd startup) truncates them")
+	} else if consumed < len(buf) {
+		fmt.Printf("clean tail: %d zero-padding bytes after the last frame\n", len(buf)-consumed)
+	} else {
+		fmt.Println("clean tail: stream ends exactly at a frame boundary")
+	}
+	return nil
+}

@@ -16,10 +16,20 @@
 //	curl :8080/graph  ·  curl :8080/stats  ·  curl :8080/metrics
 //
 // With -ingest the daemon also accepts durable streaming mutations
-// (WAL-backed; acknowledged mutations survive kill -9):
+// (WAL-backed; acknowledged mutations survive kill -9) and ships its WAL
+// to followers via GET /replicate:
 //
 //	mlvcd -dir /data/dev -addr :8080 -ingest
 //	curl -X POST :8080/mutate -d '{"mutations":[{"op":"add","src":3,"dst":9}]}'
+//
+// With -follow the daemon is a warm-standby replica: it bootstraps from
+// its own device directory (seed it from a copy of the primary's), tails
+// the primary's WAL, serves read queries the whole time, and rejects
+// /mutate with a structured read_only error until promoted:
+//
+//	mlvcd -dir /data/standby -addr :8081 -follow http://primary:8080
+//	curl -X POST :8081/admin/promote        # manual failover
+//	mlvcd ... -follow ... -promote-on-disconnect 10s   # automatic failover
 //
 // SIGINT/SIGTERM drains gracefully: in-flight batches finish, new
 // queries are shed with a structured shutting_down error.
@@ -72,7 +82,12 @@ func run(args []string) error {
 	brkMin := fs.Int("breaker-min", 8, "fault circuit breaker: min outcomes before it may open")
 	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "fault circuit breaker: open duration before half-open probes")
 	brkProbes := fs.Int("breaker-probes", 2, "fault circuit breaker: half-open probe concurrency (and successes to close)")
-	ingest := fs.Bool("ingest", false, "enable durable streaming ingest: WAL-backed POST /mutate")
+	ingest := fs.Bool("ingest", false, "enable durable streaming ingest: WAL-backed POST /mutate (also serves GET /replicate to followers)")
+	follow := fs.String("follow", "", "run as a read-only follower tailing this primary URL (implies -ingest durability for the local WAL)")
+	replicaPoll := fs.Duration("replica-poll", 50*time.Millisecond, "follower: idle poll interval against the primary")
+	replicaBatch := fs.Int("replica-batch", 4096, "follower: max WAL frames per catch-up fetch")
+	replicaLag := fs.Int64("replica-lag", 256, "follower: /readyz flips 503 when lag exceeds this many frames (-1: any lag is unready)")
+	promoteOnDisc := fs.Duration("promote-on-disconnect", 0, "follower: auto-promote to writable after this long without primary contact (0 = manual /admin/promote only)")
 	walFlush := fs.Duration("wal-flush", 2*time.Millisecond, "WAL group-commit window; 0 flushes synchronously per batch")
 	maxPending := fs.Int("max-pending", 1<<20, "buffered delta side-entry cap; past it /mutate sheds with ingest_backpressure (0 = unbounded)")
 	mergeThreshold := fs.Int("merge-threshold", 0, "buffered side-entries that trigger a crash-atomic delta merge (0 = library default)")
@@ -95,6 +110,13 @@ func run(args []string) error {
 	if c := pagecache.FromMB(*cacheMB, dev.PageSize()); c != nil {
 		dev.AttachCache(c)
 		cache = c
+	}
+	follower := *follow != ""
+	if follower {
+		// A follower needs the full durable ingest plane: its own WAL (the
+		// shipped frames are re-logged at their original seqs), replay,
+		// and crash-atomic merges.
+		*ingest = true
 	}
 	var g *csr.Graph
 	if *ingest {
@@ -143,10 +165,28 @@ func run(args []string) error {
 		BreakerProbes:     *brkProbes,
 		EnableIngest:      *ingest,
 		MergeThreshold:    *mergeThreshold,
+		EnableReplication: *ingest,
+		ReadOnly:          follower,
 		FaultControl:      *faultInject,
 	})
 	if err != nil {
 		return err
+	}
+
+	var fol *serve.Follower
+	if follower {
+		fol, err = s.StartFollower(serve.FollowerOptions{
+			Primary:             *follow,
+			Poll:                *replicaPoll,
+			BatchMax:            *replicaBatch,
+			LagThreshold:        *replicaLag,
+			PromoteOnDisconnect: *promoteOnDisc,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mlvcd: following %s from seq %d (poll %s, lag threshold %d, promote-on-disconnect %s)\n",
+			*follow, g.AppliedSeq(), *replicaPoll, *replicaLag, *promoteOnDisc)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -174,6 +214,9 @@ func run(args []string) error {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
+	}
+	if fol != nil {
+		fol.Stop()
 	}
 	s.Close()
 	// Flush the last WAL group-commit window; acked mutations are already

@@ -29,6 +29,11 @@ type Meta struct {
 	HasWeights bool    `json:"has_weights"`
 	OutValSize []int64 `json:"out_val_size,omitempty"`
 	InValSize  []int64 `json:"in_val_size,omitempty"`
+	// FoldedSeq is the highest WAL sequence number folded into these CSR
+	// files by a delta merge. Reopen floors the ingest epoch and the WAL's
+	// next seq here: merged history must keep its sequence numbers even
+	// though its frames are truncated — seqs are identity for replication.
+	FoldedSeq uint64 `json:"folded_seq,omitempty"`
 }
 
 // BuildOptions configures Build.

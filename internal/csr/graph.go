@@ -45,6 +45,11 @@ func Open(dev *ssd.Device, name string) (*Graph, error) {
 		idx:  NewIntervalIndex(meta.Intervals, meta.NumVertices),
 		ing:  newIngestState(),
 	}
+	// Sequence numbers are identity across restarts (and across replicas):
+	// the merged prefix 1..FoldedSeq lives in the CSR files, so the epoch
+	// starts there and new mutations continue the numbering, never reuse it.
+	g.ing.epoch.Store(meta.FoldedSeq)
+	g.ing.nextSeq = meta.FoldedSeq
 	for i := range meta.Intervals {
 		rf, err := dev.OpenFile(outRowPtrName(name, i))
 		if err != nil {

@@ -46,6 +46,12 @@ import (
 // should back off and let a merge (or snapshot release) drain the buffer.
 var ErrIngestBackpressure = errors.New("csr: ingest backpressure: pending structural updates at cap")
 
+// ErrVertexOutOfRange is returned by ApplyMutations/ApplyReplicated for a
+// mutation naming a vertex at or past NumVertices — a client error (the
+// serving layer maps it to a structured 400), until vertex-set growth
+// extends the universe instead.
+var ErrVertexOutOfRange = errors.New("csr: vertex out of range")
+
 // Mutation is one structural edge mutation for ApplyMutations.
 type Mutation struct {
 	Del    bool
@@ -132,7 +138,7 @@ func (g *Graph) ApplyMutations(ms []Mutation, mergeThreshold int) error {
 	n := g.meta.NumVertices
 	for _, m := range ms {
 		if m.Src >= n || m.Dst >= n {
-			return fmt.Errorf("csr: mutation (%d,%d) out of range n=%d", m.Src, m.Dst, n)
+			return fmt.Errorf("%w: mutation (%d,%d) outside [0,%d)", ErrVertexOutOfRange, m.Src, m.Dst, n)
 		}
 	}
 	ing := g.ing
@@ -341,6 +347,9 @@ func OpenIngest(dev *ssd.Device, name string, opts IngestOptions) (*Graph, error
 		return nil, err
 	}
 	g.ing.log = log
+	// Floor the WAL's numbering at the merge checkpoint: frames 1..FoldedSeq
+	// were truncated, and a restarted log must not re-issue their seqs.
+	log.SetNextSeq(g.meta.FoldedSeq)
 	if len(recs) > 0 {
 		// Open's recovery already truncated frames a committed merge
 		// folded, so everything surviving here is unmerged: replay it.
@@ -432,6 +441,7 @@ func (g *Graph) mergeAllLocked() error {
 	g.meta.InColIdxSize = man.Meta.InColIdxSize
 	g.meta.OutValSize = man.Meta.OutValSize
 	g.meta.InValSize = man.Meta.InValSize
+	g.meta.FoldedSeq = man.Meta.FoldedSeq
 	if ing.log != nil {
 		if err := ing.log.TruncateThrough(foldedSeq); err != nil {
 			ing.failed = fmt.Errorf("csr: WAL checkpoint failed (reopen to recover): %w", err)
@@ -522,6 +532,7 @@ func (g *Graph) writeShadowAndManifest(plan *mergePlan, foldedSeq uint64) error 
 	}
 
 	newMeta := *g.meta
+	newMeta.FoldedSeq = foldedSeq
 	newMeta.OutRowPtrSize = make([]int64, len(g.meta.Intervals))
 	newMeta.OutColIdxSize = make([]int64, len(g.meta.Intervals))
 	newMeta.InRowPtrSize = make([]int64, len(g.meta.Intervals))

@@ -1,0 +1,203 @@
+package csr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multilogvc/internal/graphio"
+	"multilogvc/internal/ssd"
+	"multilogvc/internal/wal"
+)
+
+func replicaPair(t *testing.T, seed int64) (dirP, dirF string, o oracle) {
+	t.Helper()
+	dirP, dirF = t.TempDir(), t.TempDir()
+	base := []graphio.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	for _, dir := range []string{dirP, dirF} {
+		dev := ssd.MustOpen(ssd.Config{PageSize: 128, Channels: 2, Dir: dir})
+		if _, err := Build(dev, "g", base, BuildOptions{NumVertices: 8, IntervalBudget: 48}); err != nil {
+			t.Fatalf("build: %v", err)
+		}
+	}
+	o = oracle{}
+	for _, e := range base {
+		o[e]++
+	}
+	return dirP, dirF, o
+}
+
+func openReplica(t *testing.T, dir string) *Graph {
+	t.Helper()
+	dev := ssd.MustOpen(ssd.Config{PageSize: 128, Channels: 2, Dir: dir})
+	g, err := OpenIngest(dev, "g", IngestOptions{WAL: true, MergeThreshold: 1 << 30})
+	if err != nil {
+		t.Fatalf("OpenIngest: %v", err)
+	}
+	return g
+}
+
+// TestReplicationShipApply drives a random mutation stream into a
+// primary, ships it in random-size batches (with deliberate duplicate
+// redelivery), applies it on a follower at the original seqs, and checks
+// the follower converges to the identical edge multiset — including
+// across a follower kill -9 (its own WAL replays the applied cursor).
+func TestReplicationShipApply(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dirP, dirF, o := replicaPair(t, seed)
+		p := openReplica(t, dirP)
+		f := openReplica(t, dirF)
+
+		for step := 0; step < 20; step++ {
+			ms := make([]Mutation, 1+rng.Intn(4))
+			for i := range ms {
+				ms[i] = randMut(rng, 8)
+			}
+			if err := p.ApplyMutations(ms, 1<<30); err != nil {
+				t.Fatalf("seed %d: apply: %v", seed, err)
+			}
+			for _, m := range ms {
+				o.apply(m)
+			}
+
+			// Ship a random amount; sometimes re-request an overlap to
+			// prove duplicates are skipped by seq identity.
+			from := f.AppliedSeq() + 1
+			if from > 2 && rng.Intn(3) == 0 {
+				from -= uint64(1 + rng.Intn(2))
+			}
+			recs, last, err := p.ReplicationFrames(from, 1+rng.Intn(6))
+			if err != nil {
+				t.Fatalf("seed %d: frames: %v", seed, err)
+			}
+			if _, err := f.ApplyReplicated(recs, 1<<30); err != nil {
+				t.Fatalf("seed %d: apply replicated: %v", seed, err)
+			}
+			_ = last
+
+			if rng.Intn(5) == 0 {
+				// Follower kill -9: reopen from its own disk; the cursor
+				// must come back from its WAL, no frames lost or doubled.
+				f = openReplica(t, dirF)
+			}
+		}
+		// Drain the remainder and compare bit-for-bit.
+		for {
+			recs, last, err := p.ReplicationFrames(f.AppliedSeq()+1, 64)
+			if err != nil {
+				t.Fatalf("seed %d: drain frames: %v", seed, err)
+			}
+			if len(recs) == 0 {
+				if f.AppliedSeq() < last {
+					t.Fatalf("seed %d: drained but applied %d < last %d", seed, f.AppliedSeq(), last)
+				}
+				break
+			}
+			if _, err := f.ApplyReplicated(recs, 1<<30); err != nil {
+				t.Fatalf("seed %d: drain apply: %v", seed, err)
+			}
+		}
+		if f.AppliedSeq() != p.AppliedSeq() {
+			t.Fatalf("seed %d: follower applied %d, primary %d", seed, f.AppliedSeq(), p.AppliedSeq())
+		}
+		checkOracle(t, f, o, "follower after drain")
+		checkOracle(t, p, o, "primary")
+	}
+}
+
+// TestReplicationGapAfterMerge leaves the follower behind, merges the
+// primary (truncating the shipped window), and checks catch-up fails
+// with the classified wal.ErrSeqGap instead of silently skipping frames.
+func TestReplicationGapAfterMerge(t *testing.T) {
+	dirP, _, _ := replicaPair(t, 0)
+	p := openReplica(t, dirP)
+	for i := 0; i < 6; i++ {
+		if err := p.ApplyMutations([]Mutation{{Src: uint32(i % 4), Dst: uint32(i%4 + 1)}}, 1<<30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.MergeInterval(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.ReplicationFrames(3, 0); !errors.Is(err, wal.ErrSeqGap) {
+		t.Fatalf("frames below fold: err = %v, want wal.ErrSeqGap", err)
+	}
+	// At the fold boundary the window is empty but valid.
+	recs, last, err := p.ReplicationFrames(7, 0)
+	if err != nil || len(recs) != 0 || last != 6 {
+		t.Fatalf("frames at boundary: %d recs, last %d, err %v", len(recs), last, err)
+	}
+}
+
+// TestFoldedSeqSurvivesCrash merges (which truncates the WAL), kills the
+// process, reopens, and checks the applied cursor and seq numbering
+// continue from the fold instead of restarting at zero — the invariant
+// replication identity depends on.
+func TestFoldedSeqSurvivesCrash(t *testing.T) {
+	dirP, dirF, o := replicaPair(t, 1)
+	p := openReplica(t, dirP)
+	ms := []Mutation{{Src: 1, Dst: 3}, {Src: 2, Dst: 0}, {Del: true, Src: 1, Dst: 2}}
+	if err := p.ApplyMutations(ms, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		o.apply(m)
+	}
+	if err := p.MergeInterval(0); err != nil {
+		t.Fatal(err)
+	}
+	p = openReplica(t, dirP) // kill -9 + restart
+	if got := p.AppliedSeq(); got != 3 {
+		t.Fatalf("AppliedSeq after merge+crash = %d, want 3", got)
+	}
+	if err := p.ApplyMutations([]Mutation{{Src: 0, Dst: 2}}, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	o.apply(Mutation{Src: 0, Dst: 2})
+	if got := p.AppliedSeq(); got != 4 {
+		t.Fatalf("seq after post-merge mutation = %d, want 4 (no reuse)", got)
+	}
+	checkOracle(t, p, o, "primary after merge+crash+mutate")
+
+	// A follower that merged and crashed likewise resumes its cursor.
+	f := openReplica(t, dirF)
+	recs, _, err := p.ReplicationFrames(f.AppliedSeq()+1, 0)
+	if err == nil {
+		_, err = f.ApplyReplicated(recs, 1<<30)
+	}
+	if !errors.Is(err, wal.ErrSeqGap) {
+		// The primary merged past the follower's cursor; the only honest
+		// outcomes are a gap (classified) or a full catch-up if frames
+		// survived. With the merge above, the gap is expected.
+		t.Fatalf("behind-the-fold follower: err = %v, want wal.ErrSeqGap", err)
+	}
+}
+
+// TestApplyReplicatedValidation covers out-of-range vertices (the
+// structured bad_request path) and in-batch discontinuities.
+func TestApplyReplicatedValidation(t *testing.T) {
+	_, dirF, _ := replicaPair(t, 2)
+	f := openReplica(t, dirF)
+	if _, err := f.ApplyReplicated([]wal.Record{{Op: wal.OpAdd, Src: 99, Dst: 1, Seq: 1}}, 1<<30); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Fatalf("out-of-range: err = %v, want ErrVertexOutOfRange", err)
+	}
+	if err := f.ApplyMutations([]Mutation{{Src: 8, Dst: 0}}, 1<<30); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Fatalf("local out-of-range: err = %v, want ErrVertexOutOfRange", err)
+	}
+	// Future seq: a gap, not a silent skip.
+	if _, err := f.ApplyReplicated([]wal.Record{{Op: wal.OpAdd, Src: 1, Dst: 2, Seq: 5}}, 1<<30); !errors.Is(err, wal.ErrSeqGap) {
+		t.Fatalf("future seq: err = %v, want wal.ErrSeqGap", err)
+	}
+	// Non-contiguous batch.
+	batch := []wal.Record{
+		{Op: wal.OpAdd, Src: 1, Dst: 2, Seq: 1},
+		{Op: wal.OpAdd, Src: 2, Dst: 3, Seq: 3},
+	}
+	if _, err := f.ApplyReplicated(batch, 1<<30); !errors.Is(err, wal.ErrSeqGap) {
+		t.Fatalf("non-contiguous: err = %v, want wal.ErrSeqGap", err)
+	}
+	if f.AppliedSeq() != 0 {
+		t.Fatalf("failed batches advanced the cursor to %d", f.AppliedSeq())
+	}
+}

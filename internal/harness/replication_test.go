@@ -1,0 +1,51 @@
+package harness
+
+import "testing"
+
+// TestFailoverChaosSoak drives the replication failover chaos leg: a
+// WAL-shipping primary/follower pair under random kill -9 schedules —
+// mid-batch, mid-merge, mid-ship — must keep every node's state exactly
+// base + stream[:AppliedSeq], survive a final promotion with local
+// writes extending the same sequence stream, and answer BFS
+// bit-identically to a clean single-node oracle, or fail classified
+// (above all the terminal replica gap after a primary fold). CI runs
+// this under -race alongside the ingest soak.
+func TestFailoverChaosSoak(t *testing.T) {
+	cases := 20
+	if testing.Short() {
+		cases = 5
+	}
+	var promoted, gapped, pCrashes, fCrashes, shipped int
+	for i := 0; i < cases; i++ {
+		seed := 0xFA110<<16 | int64(i)
+		out, err := FailoverChaosCase(seed, t.TempDir(), t.TempDir())
+		if err != nil {
+			t.Fatalf("failover chaos case %d: %v", i, err)
+		}
+		if out.Promoted {
+			promoted++
+		}
+		for _, f := range out.Faults {
+			if f == "replica_gap" {
+				gapped++
+			}
+		}
+		pCrashes += out.PrimaryCrashes
+		fCrashes += out.FollowerCrashes
+		shipped += out.Shipped
+		t.Logf("seed %#x [%s] -> acked=%d shipped=%d pcrash=%d fcrash=%d promoted=%v faults=%v",
+			seed, out.Schedule, out.Acked, out.Shipped, out.PrimaryCrashes,
+			out.FollowerCrashes, out.Promoted, out.Faults)
+	}
+	t.Logf("failover soak: %d promotions, %d gap terminations, %d primary crashes, %d follower crashes, %d frames shipped over %d cases",
+		promoted, gapped, pCrashes, fCrashes, shipped, cases)
+	if promoted == 0 {
+		t.Error("failover soak never reached a promotion — every case gap-terminated early")
+	}
+	if pCrashes+fCrashes == 0 {
+		t.Error("failover soak never exercised a crash-reopen — schedules are too cold")
+	}
+	if shipped == 0 {
+		t.Error("failover soak never shipped a frame")
+	}
+}

@@ -81,6 +81,10 @@ type LiveVars struct {
 	WALFrames          *expvar.Int // WAL frames made durable by those flushes
 	WALReplayed        *expvar.Int // WAL frames replayed into the delta overlay on open
 	WALTornTails       *expvar.Int // torn WAL tails truncated during replay
+	ReplicaAppliedSeq  *expvar.Int // highest WAL seq applied by this replica (gauge)
+	ReplicaLagFrames   *expvar.Int // frames the replica trails the primary by (gauge)
+	FramesShipped      *expvar.Int // WAL frames served to followers via /replicate
+	Promotions         *expvar.Int // follower promotions to writable primary
 
 	// Per-stage IO maps, keyed by the stable obsv.Stage names: cumulative
 	// device pages each pipeline stage read and wrote across runs in the
@@ -151,6 +155,10 @@ func Live() *LiveVars {
 			WALFrames:          expvar.NewInt("mlvc.wal_frames"),
 			WALReplayed:        expvar.NewInt("mlvc.wal_replayed_frames"),
 			WALTornTails:       expvar.NewInt("mlvc.wal_torn_tails"),
+			ReplicaAppliedSeq:  expvar.NewInt("mlvc.replica_applied_seq"),
+			ReplicaLagFrames:   expvar.NewInt("mlvc.replica_lag_frames"),
+			FramesShipped:      expvar.NewInt("mlvc.frames_shipped"),
+			Promotions:         expvar.NewInt("mlvc.promotions"),
 
 			StagePagesRead:    expvar.NewMap("mlvc.stage_pages_read"),
 			StagePagesWritten: expvar.NewMap("mlvc.stage_pages_written"),

@@ -75,6 +75,10 @@ var varMeta = map[string]metricMeta{
 	"mlvc.wal_frames":           {"WAL frames made durable", "counter", ""},
 	"mlvc.wal_replayed_frames":  {"WAL frames replayed into the delta overlay on open", "counter", ""},
 	"mlvc.wal_torn_tails":       {"Torn WAL tails truncated during replay", "counter", ""},
+	"mlvc.replica_applied_seq":  {"Highest WAL sequence number applied by this replica", "gauge", ""},
+	"mlvc.replica_lag_frames":   {"WAL frames this replica trails its primary by", "gauge", ""},
+	"mlvc.frames_shipped":       {"WAL frames served to followers via /replicate", "counter", ""},
+	"mlvc.promotions":           {"Follower promotions to writable primary", "counter", ""},
 }
 
 var (

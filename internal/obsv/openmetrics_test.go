@@ -60,6 +60,41 @@ func TestOpenMetricsGoldenFormat(t *testing.T) {
 	}
 }
 
+// TestOpenMetricsReplicationFamilies pins the exposition of the
+// replication metrics: gauges for the replica cursor and lag, counters
+// for frames shipped and promotions, each with its registered HELP text.
+func TestOpenMetricsReplicationFamilies(t *testing.T) {
+	vars := []expvar.KeyValue{
+		kvInt("mlvc.replica_applied_seq", 1042),
+		kvInt("mlvc.replica_lag_frames", 7),
+		kvInt("mlvc.frames_shipped", 5000),
+		kvInt("mlvc.promotions", 1),
+	}
+	var buf bytes.Buffer
+	if err := writeOpenMetricsVars(&buf, vars); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP mlvc_frames_shipped WAL frames served to followers via /replicate",
+		"# TYPE mlvc_frames_shipped counter",
+		"mlvc_frames_shipped 5000",
+		"# HELP mlvc_promotions Follower promotions to writable primary",
+		"# TYPE mlvc_promotions counter",
+		"mlvc_promotions 1",
+		"# HELP mlvc_replica_applied_seq Highest WAL sequence number applied by this replica",
+		"# TYPE mlvc_replica_applied_seq gauge",
+		"mlvc_replica_applied_seq 1042",
+		"# HELP mlvc_replica_lag_frames WAL frames this replica trails its primary by",
+		"# TYPE mlvc_replica_lag_frames gauge",
+		"mlvc_replica_lag_frames 7",
+		"# EOF",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("replication exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestOpenMetricsStableOrdering(t *testing.T) {
 	vars := []expvar.KeyValue{
 		kvInt("mlvc.runs", 1),

@@ -10,6 +10,7 @@ import (
 	"multilogvc/internal/core"
 	"multilogvc/internal/csr"
 	"multilogvc/internal/ssd"
+	"multilogvc/internal/wal"
 )
 
 // Every error a query can die of leaves as structured JSON —
@@ -26,7 +27,10 @@ import (
 //	no_space             507  device quota held even after reclamation
 //	device_fault         500  transient retries exhausted
 //	corrupt              500  data failed checksum beyond recovery
-//	bad_request          400  malformed query
+//	bad_request          400  malformed query, or a mutation naming a vertex past the graph's bound
+//	read_only            403  this node is a replication follower; mutate the primary or promote it
+//	not_ready            503  replication asked of a graph with no WAL (run the primary with -ingest)
+//	gap                  410  requested WAL frames were truncated by a merge checkpoint (re-seed the follower)
 //	internal             500  anything else, panics included
 //
 // Every 503 and 507 carries a Retry-After header: a well-behaved client
@@ -48,6 +52,12 @@ func classify(err error) (string, int) {
 		return "shutting_down", http.StatusServiceUnavailable
 	case errors.Is(err, csr.ErrIngestBackpressure):
 		return "ingest_backpressure", http.StatusServiceUnavailable
+	case errors.Is(err, csr.ErrVertexOutOfRange):
+		return "bad_request", http.StatusBadRequest
+	case errors.Is(err, csr.ErrNotDurable):
+		return "not_ready", http.StatusServiceUnavailable
+	case errors.Is(err, wal.ErrSeqGap):
+		return "gap", http.StatusGone
 	case errors.Is(err, ssd.ErrNoSpace):
 		return "no_space", http.StatusInsufficientStorage
 	case errors.Is(err, ssd.ErrRetriesExhausted):

@@ -22,20 +22,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleReadyz is the readiness probe: 503 while draining or while the
-// fault breaker is anything but closed. Half-open is still unready — the
-// daemon is probing its own device with a trickle of real queries and
-// should not yet receive full traffic.
+// handleReadyz is the readiness probe: 503 while draining, while the
+// fault breaker is anything but closed, or — on a replication follower —
+// while catch-up has not happened yet, the lag exceeds the configured
+// threshold, or a sequence gap has made incremental catch-up impossible.
+// Half-open is still unready — the daemon is probing its own device with
+// a trickle of real queries and should not yet receive full traffic.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	bs := s.brk.snapshot()
 	body := map[string]interface{}{
 		"ready":   true,
 		"breaker": bs,
 	}
+	fol := s.fol.Load()
+	folReady, folReason := true, ""
+	if fol != nil {
+		body["replica"] = fol.status()
+		folReady, folReason = fol.ready()
+	}
 	switch {
 	case s.closed.Load():
 		body["ready"] = false
 		body["reason"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case !folReady:
+		body["ready"] = false
+		body["reason"] = folReason
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, body)
 	case bs.State != breakerClosed:
 		body["ready"] = false

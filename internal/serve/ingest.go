@@ -57,6 +57,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required")
 		return
 	}
+	if s.readOnly.Load() {
+		writeError(w, http.StatusForbidden, "read_only",
+			"this node is a read-only replication follower; mutate the primary, or promote this node via POST /admin/promote")
+		return
+	}
 	var req mutateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())

@@ -93,6 +93,14 @@ type Options struct {
 	// batches; 0 keeps the graph's configured default.
 	MergeThreshold int
 
+	// EnableReplication registers GET /replicate, the WAL-shipping
+	// endpoint followers tail. Requires a WAL-backed graph (OpenIngest
+	// with WAL: true); without one /replicate answers not_ready.
+	EnableReplication bool
+	// ReadOnly starts the server rejecting /mutate with a structured
+	// read_only error — follower mode. Cleared by promotion.
+	ReadOnly bool
+
 	// FaultControl registers POST /debug/fault, the cross-process
 	// fault-injection control surface. Testing only.
 	FaultControl bool
@@ -143,6 +151,11 @@ type Server struct {
 	bfs  *batcher
 	sssp *batcher
 
+	// readOnly rejects /mutate (follower mode); promotion clears it.
+	readOnly atomic.Bool
+	// fol is the replication follower, set once by StartFollower.
+	fol atomic.Pointer[Follower]
+
 	// testBatchHook, when set by an in-package test, runs at the top of
 	// every batch execution (after the admission slot is held) — the
 	// injection point for panic-containment tests.
@@ -162,6 +175,7 @@ func New(opts Options) (*Server, error) {
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		started: time.Now(),
 	}
+	s.readOnly.Store(opts.ReadOnly)
 	s.brk = newBreaker(breakerConfig{
 		window:     opts.BreakerWindow,
 		threshold:  opts.BreakerThreshold,
@@ -179,6 +193,10 @@ func New(opts Options) (*Server, error) {
 	if opts.EnableIngest {
 		mux.HandleFunc("/mutate", s.handleMutate)
 	}
+	if opts.EnableReplication {
+		mux.HandleFunc("/replicate", s.handleReplicate)
+	}
+	mux.HandleFunc("/admin/promote", s.handlePromote)
 	mux.HandleFunc("/graph", s.handleGraph)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -196,6 +214,9 @@ func New(opts Options) (*Server, error) {
 		usage := "mlvcd: POST /query/bfs /query/sssp /walk; GET /graph /stats /healthz /readyz /metrics /debug/vars"
 		if s.opts.EnableIngest {
 			usage = "mlvcd: POST /query/bfs /query/sssp /walk /mutate; GET /graph /stats /healthz /readyz /metrics /debug/vars"
+		}
+		if s.opts.EnableReplication {
+			usage += "; replication: GET /replicate, POST /admin/promote"
 		}
 		fmt.Fprintln(w, usage)
 	})
@@ -242,6 +263,9 @@ func (s *Server) batchParams() (int, time.Duration) {
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
+	}
+	if f := s.fol.Load(); f != nil {
+		f.Stop()
 	}
 	s.bfs.flushNow()
 	s.sssp.flushNow()
@@ -437,6 +461,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"brownout":       s.brk.brownout(),
 		"queued":         s.queued.Load(),
 		"max_concurrent": s.opts.MaxConcurrent,
+		"read_only":      s.readOnly.Load(),
+	}
+	if f := s.fol.Load(); f != nil {
+		st := f.status()
+		out["role"] = st.Role
+		out["replica"] = st
+	} else {
+		out["role"] = "primary"
 	}
 	ist := s.g.IngestStats()
 	out["ingest"] = map[string]interface{}{
